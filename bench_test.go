@@ -1,0 +1,345 @@
+// Package omxsim's benchmark harness regenerates every table and figure of
+// the paper's evaluation (§4) as Go benchmarks:
+//
+//	BenchmarkTable1PinOverhead — Table 1 (per-host pin+unpin overheads)
+//	BenchmarkFigure6           — Figure 6 (PingPong, pin-per-comm vs permanent, ±I/OAT)
+//	BenchmarkFigure7           — Figure 7 (regular/overlapped/cache/both)
+//	BenchmarkOverlapMiss       — §4.3 (miss rate, overloaded-core collapse)
+//	BenchmarkTable2IMB         — Table 2 IMB rows (improvement percentages)
+//	BenchmarkNPBIS             — Table 2 NPB IS row
+//
+// plus ablations for the design parameters DESIGN.md calls out (pull window,
+// pin chunk size, eager threshold, interrupt latency).
+//
+// Each benchmark runs whole simulations per iteration and attaches the
+// paper-comparable quantity via b.ReportMetric (MiB/s, percent, ns/page),
+// so `go test -bench . -benchmem` prints the reproduced numbers directly.
+package omxsim
+
+import (
+	"fmt"
+	"testing"
+
+	"omxsim/internal/cluster"
+	"omxsim/internal/core"
+	"omxsim/internal/cpu"
+	"omxsim/internal/experiments"
+	"omxsim/internal/imb"
+	"omxsim/internal/mpi"
+	"omxsim/internal/npb"
+	"omxsim/internal/omx"
+)
+
+// BenchmarkTable1PinOverhead measures the pin+unpin cost per host through
+// the full driver path. Metrics: base-us and ns/page (Table 1 columns).
+func BenchmarkTable1PinOverhead(b *testing.B) {
+	for _, spec := range cpu.Table1Hosts() {
+		spec := spec
+		b.Run(spec.Name, func(b *testing.B) {
+			var rows []experiments.Table1Row
+			for i := 0; i < b.N; i++ {
+				rows = experiments.Table1()
+			}
+			for _, r := range rows {
+				if r.Host == spec.Name {
+					b.ReportMetric(r.BaseMicros, "base-us")
+					b.ReportMetric(r.NsPerPage, "ns/page")
+					b.ReportMetric(r.GBps, "GB/s")
+				}
+			}
+		})
+	}
+}
+
+// pingPongMBps runs one PingPong config at one size and returns MiB/s.
+func pingPongMBps(b *testing.B, cfg omx.Config, size int) float64 {
+	b.Helper()
+	cl, err := cluster.New(cluster.Config{Nodes: 2, OMX: cfg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var mbps float64
+	cl.Run(func(c *mpi.Comm) {
+		r := imb.PingPong(c, size, imb.Iterations(size))
+		if c.Rank() == 0 {
+			mbps = r.MBps
+		}
+	})
+	return mbps
+}
+
+// figureCases returns the (label, config) set for a figure.
+func figure6Cases() []struct {
+	name string
+	cfg  omx.Config
+} {
+	mk := func(p core.PinPolicy, cache, ioat bool) omx.Config {
+		c := omx.DefaultConfig(p, cache)
+		c.UseIOAT = ioat
+		return c
+	}
+	return []struct {
+		name string
+		cfg  omx.Config
+	}{
+		{"PinPerComm", mk(core.PinEachComm, false, false)},
+		{"Permanent", mk(core.Permanent, true, false)},
+		{"PinPerComm+IOAT", mk(core.PinEachComm, false, true)},
+		{"Permanent+IOAT", mk(core.Permanent, true, true)},
+	}
+}
+
+func figure7Cases() []struct {
+	name string
+	cfg  omx.Config
+} {
+	return []struct {
+		name string
+		cfg  omx.Config
+	}{
+		{"Regular", omx.DefaultConfig(core.PinEachComm, false)},
+		{"Overlapped", omx.DefaultConfig(core.Overlapped, false)},
+		{"Cache", omx.DefaultConfig(core.OnDemand, true)},
+		{"OverlappedCache", omx.DefaultConfig(core.Overlapped, true)},
+	}
+}
+
+// benchFigureSizes is the size subset benchmarked per curve (the cmd tool
+// sweeps the full 64 KiB..16 MiB schedule).
+var benchFigureSizes = []int{64 * 1024, 1 << 20, 16 << 20}
+
+// BenchmarkFigure6 regenerates Figure 6's curves; metric MiB/s per
+// (curve, size).
+func BenchmarkFigure6(b *testing.B) {
+	for _, c := range figure6Cases() {
+		for _, size := range benchFigureSizes {
+			c, size := c, size
+			b.Run(fmt.Sprintf("%s/%s", c.name, sizeName(size)), func(b *testing.B) {
+				var mbps float64
+				for i := 0; i < b.N; i++ {
+					mbps = pingPongMBps(b, c.cfg, size)
+				}
+				b.ReportMetric(mbps, "MiB/s")
+			})
+		}
+	}
+}
+
+// BenchmarkFigure7 regenerates Figure 7's curves; metric MiB/s per
+// (curve, size).
+func BenchmarkFigure7(b *testing.B) {
+	for _, c := range figure7Cases() {
+		for _, size := range benchFigureSizes {
+			c, size := c, size
+			b.Run(fmt.Sprintf("%s/%s", c.name, sizeName(size)), func(b *testing.B) {
+				var mbps float64
+				for i := 0; i < b.N; i++ {
+					mbps = pingPongMBps(b, c.cfg, size)
+				}
+				b.ReportMetric(mbps, "MiB/s")
+			})
+		}
+	}
+}
+
+// BenchmarkOverlapMiss regenerates §4.3: metrics are the overlap-miss rate
+// (misses per accepted packet) and goodput.
+func BenchmarkOverlapMiss(b *testing.B) {
+	cases := []struct {
+		name  string
+		flood float64
+		onRx  bool
+		iters int
+	}{
+		{"NormalLoad", 0, false, 20},
+		{"OverloadedCore", experiments.DefaultOverloadFlood, true, 10},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			var r experiments.OverlapMissResult
+			for i := 0; i < b.N; i++ {
+				r = experiments.OverlapMiss(c.name, c.flood, c.onRx, c.iters)
+			}
+			b.ReportMetric(r.MissRate, "miss-rate")
+			b.ReportMetric(r.MBps, "MiB/s")
+		})
+	}
+}
+
+// benchTable2Sizes is the reduced sweep used for the Table 2 benchmark (the
+// cmd tool runs the full IMB schedule).
+var benchTable2Sizes = []int{4096, 256 * 1024, 4 << 20}
+
+// BenchmarkTable2IMB regenerates the IMB rows of Table 2; metrics are the
+// cache and overlap improvement percentages vs regular pinning.
+func BenchmarkTable2IMB(b *testing.B) {
+	for _, k := range imb.Table2Kernels() {
+		k := k
+		b.Run(k.Name, func(b *testing.B) {
+			var rows []experiments.Table2Row
+			for i := 0; i < b.N; i++ {
+				rows = experiments.Table2IMBFiltered(benchTable2Sizes,
+					func(name string) bool { return name == k.Name })
+			}
+			if len(rows) == 1 {
+				b.ReportMetric(rows[0].CachePct, "cache-%")
+				b.ReportMetric(rows[0].OverlappingPct, "overlap-%")
+			}
+		})
+	}
+}
+
+// BenchmarkNPBIS regenerates the NPB IS row of Table 2 on 4 ranks.
+func BenchmarkNPBIS(b *testing.B) {
+	var row experiments.Table2Row
+	var res npb.Result
+	for i := 0; i < b.N; i++ {
+		row, res = experiments.NPBIS(npb.ClassA)
+	}
+	if !res.Verified {
+		b.Fatal("IS verification failed")
+	}
+	b.ReportMetric(row.CachePct, "cache-%")
+	b.ReportMetric(row.OverlappingPct, "overlap-%")
+	b.ReportMetric(res.MopsTotal, "Mop/s")
+}
+
+// BenchmarkAblationPullWindow varies the number of outstanding pull blocks:
+// too small starves the wire, large enough saturates it.
+func BenchmarkAblationPullWindow(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8, 16} {
+		w := w
+		b.Run(fmt.Sprintf("window=%d", w), func(b *testing.B) {
+			cfg := omx.DefaultConfig(core.OnDemand, true)
+			cfg.PullWindow = w
+			var mbps float64
+			for i := 0; i < b.N; i++ {
+				mbps = pingPongMBps(b, cfg, 4<<20)
+			}
+			b.ReportMetric(mbps, "MiB/s")
+		})
+	}
+}
+
+// BenchmarkAblationPinChunk varies the pin work granularity (DESIGN.md:
+// chunking lets bottom halves interleave with a large pin; bigger chunks
+// amortize better but block the core longer).
+func BenchmarkAblationPinChunk(b *testing.B) {
+	for _, pages := range []int{8, 32, 128, 512} {
+		pages := pages
+		b.Run(fmt.Sprintf("chunk=%dpages", pages), func(b *testing.B) {
+			cfg := omx.DefaultConfig(core.Overlapped, false)
+			cfg.PinChunkPages = pages
+			var mbps float64
+			for i := 0; i < b.N; i++ {
+				mbps = pingPongMBps(b, cfg, 4<<20)
+			}
+			b.ReportMetric(mbps, "MiB/s")
+		})
+	}
+}
+
+// BenchmarkAblationEagerThreshold varies the eager/rendezvous switch point
+// around the MXoE-mandated 32 KiB.
+func BenchmarkAblationEagerThreshold(b *testing.B) {
+	for _, thr := range []int{8 * 1024, 32 * 1024, 128 * 1024} {
+		thr := thr
+		b.Run(fmt.Sprintf("thr=%dKiB", thr/1024), func(b *testing.B) {
+			cfg := omx.DefaultConfig(core.OnDemand, true)
+			cfg.EagerThreshold = thr
+			var mbps float64
+			for i := 0; i < b.N; i++ {
+				mbps = pingPongMBps(b, cfg, 64*1024)
+			}
+			b.ReportMetric(mbps, "MiB/s")
+		})
+	}
+}
+
+// BenchmarkAblationHosts runs the Figure 7 comparison on each Table 1 host:
+// the paper's "5 to 20% depending on the host frequency" claim.
+func BenchmarkAblationHosts(b *testing.B) {
+	for _, spec := range cpu.Table1Hosts() {
+		spec := spec
+		b.Run(spec.Name, func(b *testing.B) {
+			var gapPct float64
+			for i := 0; i < b.N; i++ {
+				regular := pingPongHost(b, omx.DefaultConfig(core.PinEachComm, false), spec, 4<<20)
+				cached := pingPongHost(b, omx.DefaultConfig(core.OnDemand, true), spec, 4<<20)
+				gapPct = (cached - regular) / regular * 100
+			}
+			b.ReportMetric(gapPct, "cache-gain-%")
+		})
+	}
+}
+
+func pingPongHost(b *testing.B, cfg omx.Config, spec cpu.Spec, size int) float64 {
+	b.Helper()
+	cl, err := cluster.New(cluster.Config{Nodes: 2, Spec: spec, OMX: cfg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var mbps float64
+	cl.Run(func(c *mpi.Comm) {
+		r := imb.PingPong(c, size, 8)
+		if c.Rank() == 0 {
+			mbps = r.MBps
+		}
+	})
+	return mbps
+}
+
+func sizeName(s int) string {
+	if s >= 1<<20 {
+		return fmt.Sprintf("%dMB", s>>20)
+	}
+	return fmt.Sprintf("%dkB", s>>10)
+}
+
+// BenchmarkAblationPolicies compares all five pinning models (including the
+// QsNet-style NoPinning upper bound the paper's conclusion points at) on a
+// 4 MiB PingPong.
+func BenchmarkAblationPolicies(b *testing.B) {
+	cases := []struct {
+		name string
+		cfg  omx.Config
+	}{
+		{"PinEachComm", omx.DefaultConfig(core.PinEachComm, false)},
+		{"OnDemandCache", omx.DefaultConfig(core.OnDemand, true)},
+		{"Overlapped", omx.DefaultConfig(core.Overlapped, false)},
+		{"Permanent", omx.DefaultConfig(core.Permanent, true)},
+		{"NoPinning", omx.DefaultConfig(core.NoPinning, true)},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			var mbps float64
+			for i := 0; i < b.N; i++ {
+				mbps = pingPongMBps(b, c.cfg, 4<<20)
+			}
+			b.ReportMetric(mbps, "MiB/s")
+		})
+	}
+}
+
+// BenchmarkAblationSyncPrefix varies the §4.3 sync-prefix mitigation under
+// overlapped pinning.
+func BenchmarkAblationSyncPrefix(b *testing.B) {
+	for _, prefix := range []int{-1, 8, 64, 512} {
+		prefix := prefix
+		name := fmt.Sprintf("prefix=%d", prefix)
+		if prefix < 0 {
+			name = "prefix=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := omx.DefaultConfig(core.Overlapped, false)
+			cfg.SyncPrefixPages = prefix
+			var mbps float64
+			for i := 0; i < b.N; i++ {
+				mbps = pingPongMBps(b, cfg, 4<<20)
+			}
+			b.ReportMetric(mbps, "MiB/s")
+		})
+	}
+}

@@ -1,0 +1,56 @@
+// Command imbbench regenerates the IMB rows of Table 2 of the paper: the
+// execution-time improvement brought by the pinning cache or by overlapped
+// pinning, relative to regular per-communication pinning, on the Intel MPI
+// Benchmarks between two nodes.
+//
+// Usage:
+//
+//	imbbench              # full Table 2 sweep (4 B .. 4 MiB)
+//	imbbench -quick       # reduced size schedule, faster
+//	imbbench -bench SendRecv,Exchange
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"omxsim/internal/experiments"
+	"omxsim/internal/imb"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use a reduced size schedule")
+	benchList := flag.String("bench", "", "comma-separated benchmark subset (default: Table 2 set)")
+	all := flag.Bool("all", false, "also run the kernels beyond Table 2 (PingPing, Alltoall, Gather, Scatter, Barrier)")
+	flag.Parse()
+
+	sizes := imb.DefaultSizes()
+	if *quick {
+		sizes = []int{4096, 256 * 1024, 4 << 20}
+	}
+
+	want := map[string]bool{}
+	for _, b := range strings.Split(*benchList, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			want[strings.ToLower(b)] = true
+		}
+	}
+
+	fmt.Println("Table 2 (IMB rows). Execution time improvement brought by the")
+	fmt.Println("Open-MX pinning cache or the overlapped pinning, between 2 nodes.")
+	fmt.Println()
+	fmt.Printf("%-22s %14s %14s\n", "Application", "Pinning-cache", "Overlapping")
+	keep := func(name string) bool {
+		return len(want) == 0 || want[strings.ToLower(name)]
+	}
+	var rows []experiments.Table2Row
+	if *all {
+		rows = experiments.Table2AllIMB(sizes, keep)
+	} else {
+		rows = experiments.Table2IMBFiltered(sizes, keep)
+	}
+	for _, r := range rows {
+		fmt.Printf("%-22s %13.1f%% %13.1f%%\n", r.Application, r.CachePct, r.OverlappingPct)
+	}
+}

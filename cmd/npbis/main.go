@@ -1,0 +1,54 @@
+// Command npbis regenerates the NPB IS row of Table 2: the integer-sort
+// benchmark on 4 ranks across 2 nodes, comparing regular pinning against
+// the pinning cache and overlapped pinning.
+//
+// Usage:
+//
+//	npbis                 # C-shaped scaled class (default)
+//	npbis -class A        # smaller classes: S, W, A
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"omxsim/internal/experiments"
+	"omxsim/internal/npb"
+)
+
+func main() {
+	className := flag.String("class", "C-sim", "problem class: S, W, A, or C-sim")
+	cg := flag.Bool("cg", false, "also run the CG-like small-message surrogate (the paper's 'other NAS tests do not vary' observation)")
+	flag.Parse()
+
+	var class npb.Class
+	switch *className {
+	case "S":
+		class = npb.ClassS
+	case "W":
+		class = npb.ClassW
+	case "A":
+		class = npb.ClassA
+	case "C-sim", "C":
+		class = npb.ClassCSim
+	default:
+		fmt.Fprintf(os.Stderr, "npbis: unknown class %q\n", *className)
+		os.Exit(2)
+	}
+
+	row, res := experiments.NPBIS(class)
+	fmt.Println(res)
+	fmt.Println()
+	fmt.Println("Table 2 (NPB row). Execution time improvement vs regular pinning:")
+	fmt.Printf("%-22s %14s %14s\n", "Application", "Pinning-cache", "Overlapping")
+	fmt.Printf("%-22s %13.1f%% %13.1f%%\n", row.Application, row.CachePct, row.OverlappingPct)
+
+	if *cg {
+		fmt.Println()
+		cgRow, cgRes := experiments.NPBCG(npb.CGClassA)
+		fmt.Println(cgRes)
+		fmt.Printf("%-22s %13.1f%% %13.1f%%   (paper: 'does not vary much')\n",
+			cgRow.Application, cgRow.CachePct, cgRow.OverlappingPct)
+	}
+}

@@ -1,0 +1,107 @@
+// Command omxsim is the umbrella runner: it regenerates the paper's entire
+// evaluation section in one invocation.
+//
+// Usage:
+//
+//	omxsim              # everything (Table 1, Figures 6+7, §4.3, Table 2, NPB)
+//	omxsim -quick       # reduced sweeps
+//	omxsim -only table1,fig7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"omxsim/internal/cpu"
+	"omxsim/internal/experiments"
+	"omxsim/internal/imb"
+	"omxsim/internal/npb"
+)
+
+func cpuSpec() cpu.Spec { return cpu.XeonE5460 }
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced size schedules")
+	only := flag.String("only", "", "comma-separated subset: table1,fig6,fig7,sec43,table2,npb")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, s := range strings.Split(*only, ",") {
+		if s = strings.TrimSpace(strings.ToLower(s)); s != "" {
+			want[s] = true
+		}
+	}
+	sel := func(name string) bool { return len(want) == 0 || want[name] }
+
+	figSizes := imb.LargeSizes()
+	tblSizes := imb.DefaultSizes()
+	isClass := npb.ClassCSim
+	if *quick {
+		figSizes = []int{64 * 1024, 1 << 20, 16 << 20}
+		tblSizes = []int{4096, 256 * 1024, 4 << 20}
+		isClass = npb.ClassA
+	}
+
+	if sel("table1") {
+		fmt.Println("== Table 1: pin+unpin overhead per host ==")
+		fmt.Printf("%-14s %5s %9s %9s %7s\n", "Processor", "GHz", "Base µs", "ns/page", "GB/s")
+		for _, r := range experiments.Table1() {
+			fmt.Printf("%-14s %5.2f %9.1f %9.0f %7.1f\n", r.Host, r.GHz, r.BaseMicros, r.NsPerPage, r.GBps)
+		}
+		fmt.Println()
+	}
+	if sel("fig6") {
+		fmt.Println("== Figure 6: PingPong MiB/s, pin-per-comm vs permanent, ±I/OAT ==")
+		printCurves(experiments.Figure6(figSizes, cpuSpec()), figSizes)
+	}
+	if sel("fig7") {
+		fmt.Println("== Figure 7: PingPong MiB/s, regular/overlapped/cache/both ==")
+		printCurves(experiments.Figure7(figSizes, cpuSpec()), figSizes)
+	}
+	if sel("sec43") {
+		fmt.Println("== Section 4.3: overlap misses ==")
+		for _, r := range experiments.OverlapMissSection43() {
+			fmt.Printf("%-50s misses=%d/%d (rate %.2e) rereq=%d  %.1f MiB/s\n",
+				r.Label, r.OverlapMisses, r.PullReplies+r.OverlapMisses, r.MissRate, r.ReRequests, r.MBps)
+		}
+		fmt.Println()
+	}
+	if sel("table2") {
+		fmt.Println("== Table 2 (IMB): execution-time improvement vs regular pinning ==")
+		fmt.Printf("%-22s %14s %14s\n", "Application", "Pinning-cache", "Overlapping")
+		for _, r := range experiments.Table2IMB(tblSizes) {
+			fmt.Printf("%-22s %13.1f%% %13.1f%%\n", r.Application, r.CachePct, r.OverlappingPct)
+		}
+		fmt.Println()
+	}
+	if sel("npb") {
+		fmt.Println("== Table 2 (NPB IS) ==")
+		row, res := experiments.NPBIS(isClass)
+		fmt.Println(res)
+		fmt.Printf("%-22s %13.1f%% %13.1f%%\n", row.Application, row.CachePct, row.OverlappingPct)
+	}
+}
+
+func printCurves(curves []experiments.Curve, sizes []int) {
+	for i, c := range curves {
+		fmt.Printf("  curve%d = %s\n", i+1, c.Label)
+	}
+	fmt.Printf("%-10s", "size")
+	for i := range curves {
+		fmt.Printf("  %10s", fmt.Sprintf("curve%d", i+1))
+	}
+	fmt.Println()
+	for i, s := range sizes {
+		label := fmt.Sprintf("%dkB", s>>10)
+		if s >= 1<<20 {
+			label = fmt.Sprintf("%dMB", s>>20)
+		}
+		fmt.Printf("%-10s", label)
+		for _, c := range curves {
+			fmt.Printf("  %10.1f", c.Points[i].MBps)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}

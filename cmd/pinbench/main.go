@@ -1,0 +1,25 @@
+// Command pinbench regenerates Table 1 of the paper: base and per-page
+// overhead of Open-MX pinning+unpinning, and the corresponding pinning
+// throughput, for each of the four evaluation hosts.
+//
+// Usage:
+//
+//	pinbench
+package main
+
+import (
+	"fmt"
+
+	"omxsim/internal/experiments"
+)
+
+func main() {
+	fmt.Println("Table 1. Base and per-page overhead of the Open-MX pinning+unpinning,")
+	fmt.Println("and the corresponding pinning throughput (measured in simulation).")
+	fmt.Println()
+	fmt.Printf("%-14s %5s %9s %9s %7s\n", "Processor", "GHz", "Base µs", "ns/page", "GB/s")
+	for _, r := range experiments.Table1() {
+		fmt.Printf("%-14s %5.2f %9.1f %9.0f %7.1f\n",
+			r.Host, r.GHz, r.BaseMicros, r.NsPerPage, r.GBps)
+	}
+}

@@ -1,0 +1,104 @@
+// Command pingpong regenerates Figures 6 and 7 of the paper: IMB PingPong
+// throughput between two nodes over simulated Open-MX, for each pinning
+// configuration.
+//
+// Usage:
+//
+//	pingpong -figure 6        # pin-per-comm vs permanent, with/without I/OAT
+//	pingpong -figure 7        # regular / overlapped / cache / overlapped+cache
+//	pingpong -figure 7 -csv   # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"omxsim/internal/cpu"
+	"omxsim/internal/experiments"
+	"omxsim/internal/imb"
+)
+
+// hostByName resolves a Table 1 host preset ("e5460", "opteron265", ...).
+func hostByName(name string) (cpu.Spec, bool) {
+	key := strings.ToLower(strings.ReplaceAll(name, " ", ""))
+	for _, spec := range cpu.Table1Hosts() {
+		k := strings.ToLower(strings.ReplaceAll(spec.Name, " ", ""))
+		if k == key || strings.Contains(k, key) {
+			return spec, true
+		}
+	}
+	return cpu.Spec{}, false
+}
+
+func main() {
+	figure := flag.Int("figure", 7, "which paper figure to regenerate (6 or 7)")
+	csv := flag.Bool("csv", false, "emit CSV instead of a table")
+	host := flag.String("host", "e5460",
+		"host preset: opteron265, opteron8347, e5435, e5460 (slower hosts show the paper's larger gaps)")
+	flag.Parse()
+
+	spec, ok := hostByName(*host)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "pingpong: unknown host %q\n", *host)
+		os.Exit(2)
+	}
+	var curves []experiments.Curve
+	switch *figure {
+	case 6:
+		curves = experiments.Figure6(nil, spec)
+	case 7:
+		curves = experiments.Figure7(nil, spec)
+	default:
+		fmt.Fprintln(os.Stderr, "pingpong: -figure must be 6 or 7")
+		os.Exit(2)
+	}
+
+	sizes := imb.LargeSizes()
+	if *csv {
+		fmt.Print("size")
+		for _, c := range curves {
+			fmt.Printf(",%q", c.Label)
+		}
+		fmt.Println()
+		for i, s := range sizes {
+			fmt.Printf("%d", s)
+			for _, c := range curves {
+				fmt.Printf(",%.1f", c.Points[i].MBps)
+			}
+			fmt.Println()
+		}
+		return
+	}
+
+	fmt.Printf("Figure %d. IMB Pingpong throughput (MiB/s) on top of Open-MX, host %s.\n\n",
+		*figure, spec.Name)
+	for i, c := range curves {
+		fmt.Printf("  curve%d = %s\n", i+1, c.Label)
+	}
+	fmt.Println()
+	fmt.Printf("%-10s", "size")
+	for i := range curves {
+		fmt.Printf("  %12s", fmt.Sprintf("curve%d", i+1))
+	}
+	fmt.Println()
+	for i, s := range sizes {
+		fmt.Printf("%-10s", sizeLabel(s))
+		for _, c := range curves {
+			fmt.Printf("  %12.1f", c.Points[i].MBps)
+		}
+		fmt.Println()
+	}
+}
+
+func sizeLabel(s int) string {
+	switch {
+	case s >= 1<<20:
+		return fmt.Sprintf("%dMB", s>>20)
+	case s >= 1024:
+		return fmt.Sprintf("%dkB", s>>10)
+	default:
+		return fmt.Sprintf("%dB", s)
+	}
+}

@@ -1,0 +1,31 @@
+// Overload: the paper's §4.3 failure mode, live. The application (and its
+// pinning work) shares a core with the NIC bottom halves; a synthetic
+// interrupt flood starves the pinning, incoming fragments outrun the pin
+// cursor and get dropped (overlap misses), and throughput collapses.
+//
+//	go run ./examples/overload
+package main
+
+import (
+	"fmt"
+
+	"omxsim/internal/experiments"
+)
+
+func main() {
+	fmt.Println("Overlapped pinning vs an interrupt-flooded core (paper §4.3).")
+	fmt.Println()
+	fmt.Printf("%-10s %-12s %12s %10s %12s %12s\n",
+		"flood", "app core", "replies", "misses", "miss rate", "goodput")
+	for _, r := range experiments.FloodSweep([]float64{0, 0.5, 0.8, 0.9, 0.95, 0.99}) {
+		where := "own core"
+		if r.AppOnRxCore {
+			where = "RX core"
+		}
+		fmt.Printf("%-10.2f %-12s %12d %10d %12.2e %9.1f MiB/s\n",
+			r.FloodUtilization, where, r.PullReplies, r.OverlapMisses, r.MissRate, r.MBps)
+	}
+	fmt.Println()
+	fmt.Println("The paper reports <1 miss per 10^4 packets under regular load, and")
+	fmt.Println("degradation from ~1 GB/s to ~50 MB/s when a single core is overloaded.")
+}

@@ -1,0 +1,145 @@
+// Package cluster assembles complete simulated clusters: hosts (cores,
+// memory, NIC, I/OAT), an Ethernet fabric, Open-MX endpoints, and an MPI
+// world — one call sets up everything an experiment needs.
+package cluster
+
+import (
+	"fmt"
+
+	"omxsim/internal/cpu"
+	"omxsim/internal/ethernet"
+	"omxsim/internal/mpi"
+	"omxsim/internal/omx"
+	"omxsim/internal/sim"
+)
+
+// Config describes a cluster.
+type Config struct {
+	// Nodes is the host count (default 2, the paper's testbed).
+	Nodes int
+	// RanksPerNode is how many MPI ranks (endpoints) each host runs
+	// (default 1). Ranks are block-distributed: ranks 0..k-1 on node 0.
+	RanksPerNode int
+	// Spec selects the host CPU (default cpu.XeonE5460, the paper's main
+	// machine).
+	Spec cpu.Spec
+	// OMX is the per-endpoint Open-MX configuration (pinning policy, cache,
+	// I/OAT, ...).
+	OMX omx.Config
+	// RxCoreIdx is the core servicing NIC interrupts on every node
+	// (default 0).
+	RxCoreIdx int
+	// AppCoreBase is the first core used for application ranks; rank i on a
+	// node runs on core AppCoreBase+i (default 1, keeping apps off the
+	// interrupt core).
+	AppCoreBase int
+	// AppsOnRxCore forces every rank onto the interrupt core, reproducing
+	// the paper's §4.3 overload scenario (application pinning work starved
+	// by bottom halves).
+	AppsOnRxCore bool
+	// Link overrides the fabric parameters (default: 10G, 500ns).
+	Link *ethernet.LinkConfig
+	// Seed makes the run deterministic (default 1).
+	Seed int64
+	// LoopbackBytesPerSec bounds intra-node messaging (default 4 GB/s).
+	LoopbackBytesPerSec float64
+}
+
+// Cluster is a fully wired simulation instance.
+type Cluster struct {
+	Eng       *sim.Engine
+	Fabric    *ethernet.Fabric
+	Nodes     []*omx.Node
+	Endpoints []*omx.Endpoint // indexed by rank, block-distributed
+	World     *mpi.World
+}
+
+// New builds a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 2
+	}
+	if cfg.RanksPerNode == 0 {
+		cfg.RanksPerNode = 1
+	}
+	if cfg.Spec.Cores == 0 {
+		cfg.Spec = cpu.XeonE5460
+	}
+	if cfg.AppCoreBase == 0 {
+		cfg.AppCoreBase = 1
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.LoopbackBytesPerSec == 0 {
+		cfg.LoopbackBytesPerSec = 4e9
+	}
+	link := ethernet.DefaultLinkConfig()
+	if cfg.Link != nil {
+		link = *cfg.Link
+	}
+	eng := sim.NewEngine(cfg.Seed)
+	fabric := ethernet.NewFabric(eng, link)
+	fabric.LoopbackBytesPerSec = cfg.LoopbackBytesPerSec
+
+	cl := &Cluster{Eng: eng, Fabric: fabric}
+	for n := 0; n < cfg.Nodes; n++ {
+		node := omx.NewNode(eng, fabric, cfg.Spec, n, cfg.RxCoreIdx)
+		cl.Nodes = append(cl.Nodes, node)
+		for r := 0; r < cfg.RanksPerNode; r++ {
+			coreIdx := (cfg.AppCoreBase + r) % cfg.Spec.Cores
+			if cfg.AppsOnRxCore {
+				coreIdx = cfg.RxCoreIdx
+			}
+			ep, err := node.OpenEndpoint(r, coreIdx, cfg.OMX)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: node %d rank %d: %w", n, r, err)
+			}
+			cl.Endpoints = append(cl.Endpoints, ep)
+		}
+	}
+	cl.World = mpi.NewWorld(eng, cl.Endpoints)
+	return cl, nil
+}
+
+// Run executes body on every rank and drives the engine until all ranks
+// finish; it panics if the simulation deadlocks (event queue drained with
+// ranks still running).
+func (cl *Cluster) Run(body func(c *mpi.Comm)) {
+	cl.World.Run(body)
+	cl.Eng.Run()
+	if !cl.World.AllDone() {
+		panic("cluster: simulation deadlocked: event queue empty with ranks still blocked")
+	}
+}
+
+// RunFor executes body on every rank but stops the simulation after budget
+// of simulated time even if ranks are still blocked (useful for saturation
+// experiments that never terminate, like the §4.3 overload). It reports
+// whether all ranks finished. Blocked rank goroutines are abandoned; only
+// use this from short-lived processes or tests.
+func (cl *Cluster) RunFor(budget sim.Duration, body func(c *mpi.Comm)) bool {
+	cl.World.Run(body)
+	cl.Eng.RunUntil(cl.Eng.Now() + budget)
+	return cl.World.AllDone()
+}
+
+// Stats aggregates node driver stats across the cluster.
+func (cl *Cluster) Stats() omx.NodeStats {
+	var total omx.NodeStats
+	for _, n := range cl.Nodes {
+		s := n.Stats()
+		total.FramesRx += s.FramesRx
+		total.FramesTx += s.FramesTx
+		total.EagerFragsRx += s.EagerFragsRx
+		total.PullReqsRx += s.PullReqsRx
+		total.PullRepliesRx += s.PullRepliesRx
+		total.OverlapMissSender += s.OverlapMissSender
+		total.OverlapMissReceiver += s.OverlapMissReceiver
+		total.ReRequests += s.ReRequests
+		total.OptimisticReReqs += s.OptimisticReReqs
+		total.Retransmits += s.Retransmits
+		total.DupFrags += s.DupFrags
+	}
+	return total
+}

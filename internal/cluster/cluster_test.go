@@ -1,0 +1,161 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"omxsim/internal/cluster"
+	"omxsim/internal/core"
+	"omxsim/internal/cpu"
+	"omxsim/internal/ethernet"
+	"omxsim/internal/mpi"
+	"omxsim/internal/omx"
+	"omxsim/internal/sim"
+)
+
+func TestDefaults(t *testing.T) {
+	cl, err := cluster.New(cluster.Config{OMX: omx.DefaultConfig(core.OnDemand, true)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Nodes) != 2 {
+		t.Fatalf("nodes = %d, want 2", len(cl.Nodes))
+	}
+	if len(cl.Endpoints) != 2 || cl.World.Size() != 2 {
+		t.Fatalf("ranks = %d, want 2", len(cl.Endpoints))
+	}
+	// Apps default to core 1, interrupts to core 0.
+	if cl.Endpoints[0].Core().ID() != 1 {
+		t.Fatalf("app core = %d, want 1", cl.Endpoints[0].Core().ID())
+	}
+	if cl.Nodes[0].RxCore().ID() != 0 {
+		t.Fatalf("rx core = %d, want 0", cl.Nodes[0].RxCore().ID())
+	}
+	if cl.Nodes[0].Machine.Spec.Name != cpu.XeonE5460.Name {
+		t.Fatalf("default host = %s", cl.Nodes[0].Machine.Spec.Name)
+	}
+}
+
+func TestBlockRankDistribution(t *testing.T) {
+	cl, err := cluster.New(cluster.Config{
+		Nodes: 3, RanksPerNode: 2,
+		OMX: omx.DefaultConfig(core.OnDemand, true),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Endpoints) != 6 {
+		t.Fatalf("ranks = %d", len(cl.Endpoints))
+	}
+	// Block distribution: ranks 0,1 on node 0; 2,3 on node 1; 4,5 on node 2.
+	for r, ep := range cl.Endpoints {
+		if ep.Node().ID != r/2 {
+			t.Fatalf("rank %d on node %d, want %d", r, ep.Node().ID, r/2)
+		}
+	}
+}
+
+func TestAppsOnRxCore(t *testing.T) {
+	cl, err := cluster.New(cluster.Config{
+		AppsOnRxCore: true,
+		OMX:          omx.DefaultConfig(core.Overlapped, false),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ep := range cl.Endpoints {
+		if ep.Core().ID() != ep.Node().RxCore().ID() {
+			t.Fatal("app not on the RX core despite AppsOnRxCore")
+		}
+	}
+}
+
+func TestRunDeadlockPanics(t *testing.T) {
+	cl, _ := cluster.New(cluster.Config{OMX: omx.DefaultConfig(core.OnDemand, true)})
+	defer func() {
+		if recover() == nil {
+			t.Error("deadlocked Run did not panic")
+		}
+	}()
+	cl.Run(func(c *mpi.Comm) {
+		if c.Rank() == 0 {
+			buf := c.Malloc(4096)
+			c.Recv(buf, 4096, 1, 1) // nobody ever sends
+		}
+	})
+}
+
+func TestRunForStopsAtBudget(t *testing.T) {
+	cl, _ := cluster.New(cluster.Config{OMX: omx.DefaultConfig(core.OnDemand, true)})
+	done := cl.RunFor(sim.Millisecond, func(c *mpi.Comm) {
+		if c.Rank() == 0 {
+			buf := c.Malloc(4096)
+			c.Recv(buf, 4096, 1, 1) // never completes
+		}
+	})
+	if done {
+		t.Fatal("RunFor reported completion of a blocked rank")
+	}
+	if cl.Eng.Now() < sim.Millisecond {
+		t.Fatalf("engine stopped at %v, before the budget", cl.Eng.Now())
+	}
+}
+
+func TestStatsAggregation(t *testing.T) {
+	cl, _ := cluster.New(cluster.Config{OMX: omx.DefaultConfig(core.OnDemand, true)})
+	cl.Run(func(c *mpi.Comm) {
+		buf := c.Malloc(1 << 20)
+		if c.Rank() == 0 {
+			c.Send(buf, 1<<20, 1, 1)
+		} else {
+			c.Recv(buf, 1<<20, 0, 1)
+		}
+	})
+	st := cl.Stats()
+	if st.FramesTx == 0 || st.FramesRx == 0 || st.PullRepliesRx == 0 {
+		t.Fatalf("stats empty: %+v", st)
+	}
+}
+
+func TestClusterDeterminism(t *testing.T) {
+	run := func() sim.Time {
+		cl, _ := cluster.New(cluster.Config{
+			Seed: 42,
+			OMX:  omx.DefaultConfig(core.Overlapped, true),
+		})
+		cl.Run(func(c *mpi.Comm) {
+			buf := c.Malloc(2 << 20)
+			for i := 0; i < 3; i++ {
+				if c.Rank() == 0 {
+					c.Send(buf, 2<<20, 1, i)
+				} else {
+					c.Recv(buf, 2<<20, 0, i)
+				}
+			}
+		})
+		return cl.Eng.Now()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("identical seeds produced different end times: %v vs %v", a, b)
+	}
+}
+
+func TestCustomLinkConfig(t *testing.T) {
+	link := cluster.Config{OMX: omx.DefaultConfig(core.OnDemand, true)}
+	cfgLink := defaultLinkHalved()
+	link.Link = &cfgLink
+	cl, err := cluster.New(link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.Fabric.Config().BytesPerSec; got != cfgLink.BytesPerSec {
+		t.Fatalf("link bandwidth = %v", got)
+	}
+}
+
+func defaultLinkHalved() (cfg ethernetLinkConfig) {
+	c := ethernet.DefaultLinkConfig()
+	c.BytesPerSec /= 2
+	return c
+}
+
+type ethernetLinkConfig = ethernet.LinkConfig

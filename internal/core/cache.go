@@ -1,0 +1,214 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"omxsim/internal/cpu"
+	"omxsim/internal/sim"
+	"omxsim/internal/trace"
+)
+
+// User-space cost constants (paper §4.2: "the overhead of the pinning cache
+// is higher since it involves looking up a region in the user-space cache
+// and checking whether it is already pinned in the driver. But it also
+// remains negligible against the transfer time of large messages").
+const (
+	// CacheLookupCost is the user-space hash lookup per request.
+	CacheLookupCost = 150 * sim.Nanosecond
+	// DeclareBaseCost is the syscall + driver setup to declare a region.
+	DeclareBaseCost = 400 * sim.Nanosecond
+	// DeclarePerSegCost is the added cost per segment passed to the kernel.
+	DeclarePerSegCost = 40 * sim.Nanosecond
+	// UndeclareCost is the syscall to drop a declaration.
+	UndeclareCost = 300 * sim.Nanosecond
+)
+
+// CacheStats counts user-space cache activity.
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// Cache is the user-space region cache of paper §3.2: it maps segment lists
+// to declared-region descriptors so repeated use of the same buffer reuses
+// one declaration, and evicts least-recently-used declarations beyond its
+// capacity. It deliberately knows nothing about pinning: the driver may
+// unpin and repin a cached region at any time without telling user space —
+// that decoupling is the paper's point.
+//
+// With Enabled=false the cache degrades to declare/undeclare per
+// communication, which is the classical model used as the baseline.
+type Cache struct {
+	eng      *sim.Engine
+	mgr      *Manager
+	core     *cpu.Core
+	enabled  bool
+	capacity int
+
+	entries map[string]*cacheEntry
+	tick    int64
+	stats   CacheStats
+}
+
+type cacheEntry struct {
+	key     string
+	region  *Region
+	refs    int
+	lastUse int64
+}
+
+// NewCache builds a cache in front of mgr. Costs are charged on core.
+// capacity <= 0 selects 64 entries. enabled=false turns the cache into the
+// declare-per-communication baseline.
+func NewCache(eng *sim.Engine, mgr *Manager, core *cpu.Core, capacity int, enabled bool) *Cache {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &Cache{
+		eng:      eng,
+		mgr:      mgr,
+		core:     core,
+		enabled:  enabled,
+		capacity: capacity,
+		entries:  make(map[string]*cacheEntry),
+	}
+}
+
+// Enabled reports whether caching is on.
+func (c *Cache) Enabled() bool { return c.enabled }
+
+// Stats returns a snapshot of hit/miss/eviction counters.
+func (c *Cache) Stats() CacheStats { return c.stats }
+
+// Len reports the number of cached declarations.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// key serializes a segment list. Two requests hit the same entry iff their
+// segment lists are byte-identical (same addresses AND lengths).
+func key(segs []Segment) string {
+	buf := make([]byte, 0, len(segs)*16)
+	var tmp [16]byte
+	for _, s := range segs {
+		binary.LittleEndian.PutUint64(tmp[0:8], uint64(s.Addr))
+		binary.LittleEndian.PutUint64(tmp[8:16], uint64(s.Len))
+		buf = append(buf, tmp[:]...)
+	}
+	return string(buf)
+}
+
+// GetAsync resolves a segment list to a declared region, charging lookup
+// (and declaration, on miss) costs on the cache's core; done receives the
+// region. It is callable from event context. The caller must balance with
+// Put.
+func (c *Cache) GetAsync(segs []Segment, done func(*Region, error)) {
+	c.tick++
+	tick := c.tick
+	if !c.enabled {
+		cost := DeclareBaseCost + sim.Duration(len(segs))*DeclarePerSegCost
+		c.core.Submit(cpu.Kernel, cost, func() {
+			r, err := c.mgr.Declare(segs)
+			done(r, err)
+		})
+		return
+	}
+	k := key(segs)
+	c.core.Submit(cpu.User, CacheLookupCost, func() {
+		if e, ok := c.entries[k]; ok {
+			c.stats.Hits++
+			if c.mgr.Trace != nil {
+				c.mgr.Trace.Emit(trace.Event{T: c.eng.Now(), Kind: trace.CacheHit,
+					Node: c.mgr.TraceNode, Seq: uint64(e.region.ID())})
+			}
+			e.refs++
+			e.lastUse = tick
+			done(e.region, nil)
+			return
+		}
+		c.stats.Misses++
+		if c.mgr.Trace != nil {
+			c.mgr.Trace.Emit(trace.Event{T: c.eng.Now(), Kind: trace.CacheMiss,
+				Node: c.mgr.TraceNode})
+		}
+		cost := DeclareBaseCost + sim.Duration(len(segs))*DeclarePerSegCost
+		c.core.Submit(cpu.Kernel, cost, func() {
+			r, err := c.mgr.Declare(segs)
+			if err != nil {
+				done(nil, err)
+				return
+			}
+			c.entries[k] = &cacheEntry{key: k, region: r, refs: 1, lastUse: tick}
+			c.evict()
+			done(r, nil)
+		})
+	})
+}
+
+// Get is the blocking-process form of GetAsync.
+func (c *Cache) Get(p *sim.Proc, segs []Segment) (*Region, error) {
+	var region *Region
+	var err error
+	done := &sim.Completion{}
+	c.GetAsync(segs, func(r *Region, e error) {
+		region, err = r, e
+		done.Complete(c.eng, nil)
+	})
+	done.Wait(p)
+	return region, err
+}
+
+// Put releases a Get reference. Without caching, the declaration is dropped
+// immediately (classical behaviour); with caching the entry stays for
+// reuse, subject to LRU eviction.
+func (c *Cache) Put(r *Region) {
+	if !c.enabled {
+		c.core.Submit(cpu.Kernel, UndeclareCost, func() {
+			// The region may still be finishing its unpin (PinEachComm
+			// charges unpin work asynchronously); retry until idle.
+			c.undeclareWhenIdle(r)
+		})
+		return
+	}
+	k := key(r.segs)
+	e, ok := c.entries[k]
+	if !ok || e.region != r {
+		// Entry was evicted while the caller held the region; drop the
+		// declaration now that the communication is done.
+		c.core.Submit(cpu.Kernel, UndeclareCost, func() { c.undeclareWhenIdle(r) })
+		return
+	}
+	e.refs--
+	c.evict()
+}
+
+func (c *Cache) undeclareWhenIdle(r *Region) {
+	if r.InUse() {
+		c.eng.After(sim.Microsecond, func() { c.undeclareWhenIdle(r) })
+		return
+	}
+	_ = c.mgr.Undeclare(r)
+}
+
+// evict undeclares least-recently-used unreferenced entries beyond
+// capacity (paper §3.2: "when the number of regions becomes too high, the
+// least recently used ones are undeclared").
+func (c *Cache) evict() {
+	for len(c.entries) > c.capacity {
+		var victim *cacheEntry
+		for _, e := range c.entries {
+			if e.refs > 0 || e.region.InUse() {
+				continue
+			}
+			if victim == nil || e.lastUse < victim.lastUse {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return // everything referenced; stay over capacity
+		}
+		delete(c.entries, victim.key)
+		c.stats.Evictions++
+		c.core.Submit(cpu.Kernel, UndeclareCost, nil)
+		_ = c.mgr.Undeclare(victim.region)
+	}
+}

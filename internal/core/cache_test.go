@@ -1,0 +1,213 @@
+package core
+
+import (
+	"testing"
+
+	"omxsim/internal/sim"
+	"omxsim/internal/vm"
+)
+
+func TestCacheHitReusesDeclaration(t *testing.T) {
+	h := newHarness(t)
+	m := h.manager(ManagerConfig{Policy: OnDemand})
+	c := NewCache(h.eng, m, h.core, 0, true)
+	addr := h.buf(t, 1<<20)
+	segs := []Segment{{addr, 1 << 20}}
+	var r1, r2 *Region
+	h.eng.Go("app", func(p *sim.Proc) {
+		var err error
+		r1, err = c.Get(p, segs)
+		if err != nil {
+			t.Errorf("get1: %v", err)
+		}
+		c.Put(r1)
+		r2, err = c.Get(p, segs)
+		if err != nil {
+			t.Errorf("get2: %v", err)
+		}
+		c.Put(r2)
+	})
+	h.eng.Run()
+	if r1 != r2 {
+		t.Fatal("cache did not reuse the declaration")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit 1 miss", st)
+	}
+	if m.Stats().Declares != 1 {
+		t.Fatalf("driver saw %d declares, want 1", m.Stats().Declares)
+	}
+}
+
+func TestCacheDisabledDeclaresEachTime(t *testing.T) {
+	h := newHarness(t)
+	m := h.manager(ManagerConfig{Policy: PinEachComm})
+	c := NewCache(h.eng, m, h.core, 0, false)
+	addr := h.buf(t, 256*1024)
+	segs := []Segment{{addr, 256 * 1024}}
+	h.eng.Go("app", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			r, err := c.Get(p, segs)
+			if err != nil {
+				t.Errorf("get: %v", err)
+				return
+			}
+			done := m.Acquire(r)
+			done.Wait(p)
+			m.Release(r)
+			c.Put(r)
+		}
+	})
+	h.eng.Run()
+	if m.Stats().Declares != 3 || m.Stats().Undeclares != 3 {
+		t.Fatalf("declares/undeclares = %d/%d, want 3/3",
+			m.Stats().Declares, m.Stats().Undeclares)
+	}
+	if m.NumRegions() != 0 {
+		t.Fatal("regions leaked in no-cache mode")
+	}
+}
+
+func TestCacheDifferentSegmentsMiss(t *testing.T) {
+	h := newHarness(t)
+	m := h.manager(ManagerConfig{Policy: OnDemand})
+	c := NewCache(h.eng, m, h.core, 0, true)
+	a1 := h.buf(t, 256*1024)
+	a2 := h.buf(t, 256*1024)
+	h.eng.Go("app", func(p *sim.Proc) {
+		r1, _ := c.Get(p, []Segment{{a1, 256 * 1024}})
+		r2, _ := c.Get(p, []Segment{{a2, 256 * 1024}})
+		r3, _ := c.Get(p, []Segment{{a1, 128 * 1024}}) // same addr, different len
+		if r1 == r2 || r1 == r3 {
+			t.Error("distinct segment lists shared a region")
+		}
+		c.Put(r1)
+		c.Put(r2)
+		c.Put(r3)
+	})
+	h.eng.Run()
+	if st := c.Stats(); st.Misses != 3 || st.Hits != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	h := newHarness(t)
+	m := h.manager(ManagerConfig{Policy: OnDemand})
+	c := NewCache(h.eng, m, h.core, 2, true)
+	bufs := []vm.Addr{h.buf(t, 256*1024), h.buf(t, 256*1024), h.buf(t, 256*1024)}
+	h.eng.Go("app", func(p *sim.Proc) {
+		for _, a := range bufs {
+			r, err := c.Get(p, []Segment{{a, 256 * 1024}})
+			if err != nil {
+				t.Errorf("get: %v", err)
+				return
+			}
+			c.Put(r)
+		}
+		// First buffer was evicted; getting it again is a miss.
+		r, _ := c.Get(p, []Segment{{bufs[0], 256 * 1024}})
+		c.Put(r)
+	})
+	h.eng.Run()
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("no evictions despite capacity 2 and 3 buffers")
+	}
+	if st.Misses != 4 || st.Hits != 0 {
+		t.Fatalf("stats = %+v, want 4 misses (re-get after eviction misses)", st)
+	}
+	if c.Len() > 2 {
+		t.Fatalf("cache len %d exceeds capacity", c.Len())
+	}
+}
+
+func TestCacheReferencedEntriesNotEvicted(t *testing.T) {
+	h := newHarness(t)
+	m := h.manager(ManagerConfig{Policy: OnDemand})
+	c := NewCache(h.eng, m, h.core, 1, true)
+	a1 := h.buf(t, 256*1024)
+	a2 := h.buf(t, 256*1024)
+	h.eng.Go("app", func(p *sim.Proc) {
+		r1, _ := c.Get(p, []Segment{{a1, 256 * 1024}})
+		// r1 still referenced: inserting r2 must not undeclare r1.
+		r2, _ := c.Get(p, []Segment{{a2, 256 * 1024}})
+		if _, ok := m.Region(r1.ID()); !ok {
+			t.Error("referenced region was undeclared")
+		}
+		c.Put(r1)
+		c.Put(r2)
+	})
+	h.eng.Run()
+}
+
+func TestCacheHitAfterDriverUnpin(t *testing.T) {
+	// The decoupling in action: the driver unpinned (notifier) but the
+	// cache still hits; the acquire repins transparently.
+	h := newHarness(t)
+	m := h.manager(ManagerConfig{Policy: OnDemand})
+	c := NewCache(h.eng, m, h.core, 0, true)
+	addr := h.buf(t, 1<<20)
+	segs := []Segment{{addr, 1 << 20}}
+	h.eng.Go("app", func(p *sim.Proc) {
+		r, _ := c.Get(p, segs)
+		m.Acquire(r).Wait(p)
+		m.Release(r)
+		c.Put(r)
+		// Free + realloc (same address).
+		if err := h.al.Free(addr); err != nil {
+			t.Error(err)
+		}
+		p.Yield()
+		addr2, _ := h.al.Malloc(1 << 20)
+		if addr2 != addr {
+			t.Error("address not reused")
+		}
+		r2, _ := c.Get(p, segs)
+		if r2 != r {
+			t.Error("cache missed after free/realloc of the same buffer")
+		}
+		if err := m.Acquire(r2).Wait(p); err != nil {
+			t.Errorf("repin failed: %v", err)
+		}
+		if !r2.Pinned() {
+			t.Error("not repinned")
+		}
+		m.Release(r2)
+		c.Put(r2)
+	})
+	h.eng.Run()
+	if m.Stats().Repins != 1 {
+		t.Fatalf("Repins = %d, want 1", m.Stats().Repins)
+	}
+}
+
+func TestCacheCostsCharged(t *testing.T) {
+	h := newHarness(t)
+	m := h.manager(ManagerConfig{Policy: OnDemand})
+	c := NewCache(h.eng, m, h.core, 0, true)
+	addr := h.buf(t, 256*1024)
+	segs := []Segment{{addr, 256 * 1024}}
+	h.eng.Go("app", func(p *sim.Proc) {
+		r, _ := c.Get(p, segs)
+		c.Put(r)
+	})
+	h.eng.Run()
+	if h.core.BusyTime(0)+h.core.BusyTime(1)+h.core.BusyTime(2) == 0 {
+		t.Fatal("cache charged no CPU time")
+	}
+}
+
+func TestKeyDeterminism(t *testing.T) {
+	segs := []Segment{{0x1000, 50}, {0x2000, 60}}
+	if key(segs) != key([]Segment{{0x1000, 50}, {0x2000, 60}}) {
+		t.Fatal("identical segment lists produced different keys")
+	}
+	if key(segs) == key([]Segment{{0x2000, 60}, {0x1000, 50}}) {
+		t.Fatal("order-swapped segments collided")
+	}
+	if key(segs) == key(segs[:1]) {
+		t.Fatal("prefix collided")
+	}
+}

@@ -1,0 +1,488 @@
+package core
+
+import (
+	"fmt"
+
+	"omxsim/internal/cpu"
+	"omxsim/internal/sim"
+	"omxsim/internal/trace"
+	"omxsim/internal/vm"
+)
+
+// ManagerConfig tunes the driver-side pinning engine.
+type ManagerConfig struct {
+	Policy PinPolicy
+	// PinnedPageLimit caps the total pages the manager keeps pinned; when a
+	// pin would exceed it, least-recently-used idle regions are unpinned
+	// first (paper §3.1: "if there are too many pinned pages ... it may
+	// also request some unpinning"). 0 means unlimited.
+	PinnedPageLimit int
+	// PinChunkPages is the granularity of pin/unpin work on the core, so
+	// bottom-half processing can interleave with a large pin. Defaults to 32
+	// pages (128 KiB) per chunk.
+	PinChunkPages int
+}
+
+// Stats counts the manager's activity.
+type Stats struct {
+	Declares         uint64
+	Undeclares       uint64
+	PinOps           uint64 // full-region pin completions
+	UnpinOps         uint64 // full-region unpins
+	PagesPinned      uint64
+	PagesUnpinned    uint64
+	Repins           uint64 // pins of a region previously invalidated
+	InvalidateHits   uint64 // notifier callbacks overlapping declared regions
+	LRUUnpins        uint64 // unpins forced by the pinned-page limit
+	PinFailures      uint64
+	AcquiresPinned   uint64 // acquires that found the region already pinned
+	AcquiresUnpinned uint64
+}
+
+// Manager is the driver-side pinning engine: it owns declared regions,
+// executes pin/unpin work on a core at kernel priority, listens to MMU
+// notifiers, and enforces the pinned-page limit. It implements vm.Notifier.
+type Manager struct {
+	eng  *sim.Engine
+	as   *vm.AddressSpace
+	core *cpu.Core
+	spec cpu.Spec
+	cfg  ManagerConfig
+
+	regions map[RegionID]*Region
+	nextID  RegionID
+	tick    int64
+
+	// Trace, when non-nil, records pinning lifecycle events.
+	Trace *trace.Recorder
+	// TraceNode labels trace events with a host id.
+	TraceNode int
+
+	// OnInvalidateInUse, when non-nil, is called after an MMU-notifier
+	// invalidation unpins a region that still has active users — i.e. the
+	// application freed a buffer mid-communication. The protocol layer uses
+	// it to abort the affected requests instead of retrying forever against
+	// a mapping that no longer exists.
+	OnInvalidateInUse func(*Region)
+
+	pinnedTotal int // pages currently pinned across regions
+	stats       Stats
+}
+
+// NewManager builds a manager for address space as, running pin work on
+// core. It registers itself as an MMU notifier on as (the paper attaches
+// the notifier when an endpoint is opened).
+func NewManager(eng *sim.Engine, as *vm.AddressSpace, core *cpu.Core, cfg ManagerConfig) *Manager {
+	if cfg.PinChunkPages <= 0 {
+		cfg.PinChunkPages = 32
+	}
+	m := &Manager{
+		eng:     eng,
+		as:      as,
+		core:    core,
+		spec:    core.Spec(),
+		cfg:     cfg,
+		regions: make(map[RegionID]*Region),
+	}
+	as.RegisterNotifier(m)
+	return m
+}
+
+// Close detaches the manager from the address space and unpins everything.
+func (m *Manager) Close() {
+	m.as.UnregisterNotifier(m)
+	for _, r := range m.regions {
+		m.unpinNow(r)
+	}
+	m.regions = make(map[RegionID]*Region)
+}
+
+// Policy returns the configured pin policy.
+func (m *Manager) Policy() PinPolicy { return m.cfg.Policy }
+
+// Stats returns a snapshot of the manager's counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// PinnedPages reports the total pages currently pinned.
+func (m *Manager) PinnedPages() int { return m.pinnedTotal }
+
+// NumRegions reports the number of declared regions.
+func (m *Manager) NumRegions() int { return len(m.regions) }
+
+// Region looks up a declared region by descriptor.
+func (m *Manager) Region(id RegionID) (*Region, bool) {
+	r, ok := m.regions[id]
+	return r, ok
+}
+
+// Declare registers a region without pinning it (except under the
+// Permanent policy, which pins immediately). Declaration validates only the
+// segment count and lengths — NOT the addresses: an invalid address is
+// detected when pinning fails at communication time, aborting that request
+// (paper §3.1).
+func (m *Manager) Declare(segs []Segment) (*Region, error) {
+	if len(segs) == 0 || len(segs) > MaxSegments {
+		return nil, ErrTooManySegs
+	}
+	r := &Region{segs: make([]Segment, len(segs))}
+	copy(r.segs, segs)
+	for _, s := range segs {
+		if s.Len <= 0 {
+			return nil, fmt.Errorf("core: segment length %d: %w", s.Len, ErrTooManySegs)
+		}
+		pages := vm.PageCount(s.Addr, s.Len)
+		r.segPin = append(r.segPin, segPin{pages: pages})
+		r.bytes += s.Len
+		r.pages += pages
+	}
+	r.as = m.as
+	r.noPin = m.cfg.Policy == NoPinning
+	m.nextID++
+	r.id = m.nextID
+	m.regions[r.id] = r
+	m.stats.Declares++
+	if m.cfg.Policy == Permanent {
+		m.startPin(r)
+	}
+	return r, nil
+}
+
+// Undeclare removes a region, unpinning it if needed. Regions with active
+// users cannot be undeclared.
+func (m *Manager) Undeclare(r *Region) error {
+	if _, ok := m.regions[r.id]; !ok {
+		return ErrUnknownRegion
+	}
+	if r.useCount > 0 {
+		return ErrRegionBusy
+	}
+	m.unpinNow(r)
+	delete(m.regions, r.id)
+	m.stats.Undeclares++
+	return nil
+}
+
+// WaitBeforeUse reports whether communications under this policy must wait
+// for the Acquire completion before touching the region (synchronous
+// pinning) or may proceed immediately (overlapped).
+func (p PinPolicy) WaitBeforeUse() bool { return p != Overlapped }
+
+// OnPinProgress registers fn to run once at least pages of r are pinned
+// (immediately if they already are). If the pin fails or the region is
+// invalidated first, fn receives the error. Used by the overlapped send
+// path to delay the initiating message until a small prefix is pinned —
+// the mitigation sketched in the paper's §4.3.
+func (m *Manager) OnPinProgress(r *Region, pages int, fn func(error)) {
+	if r.noPin {
+		fn(nil)
+		return
+	}
+	if pages > r.pages {
+		pages = r.pages
+	}
+	if r.pinnedPages >= pages && (r.state == statePinned || r.state == statePinning) {
+		fn(nil)
+		return
+	}
+	if r.state == stateUnpinned {
+		fn(fmt.Errorf("%w: region not being pinned", ErrPinFailed))
+		return
+	}
+	r.prefixWaiters = append(r.prefixWaiters, prefixWaiter{epoch: r.epoch, pages: pages, done: fn})
+}
+
+// wakePrefixWaiters fires progress callbacks whose thresholds are reached.
+func (m *Manager) wakePrefixWaiters(r *Region) {
+	kept := r.prefixWaiters[:0]
+	for _, w := range r.prefixWaiters {
+		if w.epoch == r.epoch && r.pinnedPages >= w.pages {
+			w.done(nil)
+			continue
+		}
+		if w.epoch != r.epoch {
+			w.done(fmt.Errorf("%w: invalidated during pin", ErrPinFailed))
+			continue
+		}
+		kept = append(kept, w)
+	}
+	r.prefixWaiters = kept
+}
+
+// failPrefixWaiters errors out all pending progress callbacks.
+func (m *Manager) failPrefixWaiters(r *Region, err error) {
+	ws := r.prefixWaiters
+	r.prefixWaiters = nil
+	for _, w := range ws {
+		w.done(err)
+	}
+}
+
+// Acquire marks the region in use by a communication request and ensures
+// pinning per the policy. The returned completion fires when the region is
+// fully pinned (with an error if pinning failed). Under Overlapped the
+// caller proceeds immediately and uses Region.Ready per access instead of
+// waiting.
+func (m *Manager) Acquire(r *Region) *sim.Completion {
+	m.tick++
+	r.lastUse = m.tick
+	r.useCount++
+	done := &sim.Completion{}
+	if r.noPin {
+		// QsNet model: nothing to pin, ever.
+		m.stats.AcquiresPinned++
+		done.Complete(m.eng, nil)
+		return done
+	}
+	switch r.state {
+	case statePinned:
+		m.stats.AcquiresPinned++
+		done.Complete(m.eng, nil)
+	case statePinning:
+		m.stats.AcquiresUnpinned++
+		r.waiters = append(r.waiters, pinWaiter{epoch: r.epoch, done: func(err error) {
+			done.Complete(m.eng, err)
+		}})
+	case stateUnpinned:
+		m.stats.AcquiresUnpinned++
+		r.waiters = append(r.waiters, pinWaiter{epoch: r.epoch, done: func(err error) {
+			done.Complete(m.eng, err)
+		}})
+		m.startPin(r)
+	}
+	return done
+}
+
+// Release drops a communication's reference. Under PinEachComm the region
+// is unpinned once no users remain; the decoupled policies leave it pinned
+// for reuse.
+func (m *Manager) Release(r *Region) {
+	if r.useCount <= 0 {
+		panic("core: Release without Acquire")
+	}
+	r.useCount--
+	if m.cfg.Policy == PinEachComm && r.useCount == 0 {
+		m.startUnpin(r)
+	}
+}
+
+// startPin begins chunked pinning of r at kernel priority. All chunks are
+// submitted upfront so they execute contiguously on the core, exactly like
+// get_user_pages running in syscall context: later syscalls queue behind
+// the whole pin, while bottom halves (higher priority) still interleave
+// between chunks — which is what lets an interrupt flood starve pinning
+// (paper §4.3).
+func (m *Manager) startPin(r *Region) {
+	if r.state != stateUnpinned {
+		return
+	}
+	r.state = statePinning
+	if r.invalidated {
+		m.stats.Repins++
+	}
+	m.emit(trace.PinStart, uint64(r.id), r.pages, 0)
+	epoch := r.epoch
+	if r.pages == 0 {
+		m.finishPin(r, nil)
+		return
+	}
+	first := true
+	for start := 0; start < r.pages; {
+		si, pageInSeg := r.locatePageFrom(start)
+		count := m.cfg.PinChunkPages
+		if rem := r.pages - start; count > rem {
+			count = rem
+		}
+		// Clamp the chunk at the segment boundary: one vm call per segment.
+		if segRem := r.segPin[si].pages - pageInSeg; count > segRem {
+			count = segRem
+		}
+		cost := sim.Duration(count) * perPagePin(m.spec)
+		if first {
+			cost += m.spec.PinCost(0) // base overhead charged once per pin
+			first = false
+		}
+		segIdx, segPage, n := si, pageInSeg, count
+		last := start+count >= r.pages
+		m.core.Submit(cpu.Kernel, cost, func() {
+			if r.epoch != epoch || r.state != statePinning {
+				return // invalidated while the work was queued/running
+			}
+			m.evictForLimit(n, r)
+			h, err := m.as.PinPages(r.segs[segIdx].Addr, segPage, n)
+			if err != nil {
+				m.finishPin(r, fmt.Errorf("%w: %v", ErrPinFailed, err))
+				return
+			}
+			sp := &r.segPin[segIdx]
+			sp.handles = append(sp.handles, h)
+			for i := 0; i < n; i++ {
+				sp.frames = append(sp.frames, h.Frame(i))
+			}
+			r.pinnedPages += n
+			m.pinnedTotal += n
+			m.stats.PagesPinned += uint64(n)
+			m.wakePrefixWaiters(r)
+			if last {
+				m.finishPin(r, nil)
+			}
+		})
+		start += count
+	}
+}
+
+func perPagePin(spec cpu.Spec) sim.Duration {
+	return spec.PinCost(1) - spec.PinCost(0)
+}
+
+func (m *Manager) finishPin(r *Region, err error) {
+	if err != nil {
+		m.stats.PinFailures++
+		m.emit(trace.PinFail, uint64(r.id), r.pinnedPages, r.pages)
+		m.failWaiters(r, err)
+		m.failPrefixWaiters(r, err)
+		// Roll back whatever was pinned so the region can be retried.
+		m.unpinNow(r)
+		return
+	}
+	r.state = statePinned
+	m.stats.PinOps++
+	m.emit(trace.PinDone, uint64(r.id), r.pages, 0)
+	m.wakeReadyWaiters(r)
+}
+
+func (m *Manager) wakeReadyWaiters(r *Region) {
+	if r.state != statePinned {
+		return
+	}
+	ws := r.waiters
+	r.waiters = nil
+	for _, w := range ws {
+		if w.epoch == r.epoch {
+			w.done(nil)
+		}
+	}
+}
+
+func (m *Manager) failWaiters(r *Region, err error) {
+	ws := r.waiters
+	r.waiters = nil
+	for _, w := range ws {
+		w.done(err)
+	}
+}
+
+// startUnpin schedules the unpin cost on the core, then drops the pins.
+func (m *Manager) startUnpin(r *Region) {
+	if r.state == stateUnpinned && r.pinnedPages == 0 {
+		return
+	}
+	pages := r.pinnedPages
+	epoch := r.epoch
+	r.epoch++ // cancel in-flight pin chunks
+	cost := m.spec.UnpinCost(pages)
+	m.core.Submit(cpu.Kernel, cost, func() {
+		_ = epoch
+		m.unpinNow(r)
+	})
+}
+
+// unpinNow synchronously drops every pin the region holds (state only; cost
+// must have been charged by the caller where relevant).
+func (m *Manager) unpinNow(r *Region) {
+	dropped := 0
+	for si := range r.segPin {
+		sp := &r.segPin[si]
+		for _, h := range sp.handles {
+			dropped += h.NumPages()
+			h.Unpin()
+		}
+		sp.handles = nil
+		sp.frames = nil
+	}
+	if dropped > 0 {
+		m.pinnedTotal -= dropped
+		m.stats.PagesUnpinned += uint64(dropped)
+		m.stats.UnpinOps++
+		m.emit(trace.Unpin, uint64(r.id), dropped, 0)
+	}
+	r.pinnedPages = 0
+	r.state = stateUnpinned
+	r.epoch++
+}
+
+// locatePageFrom maps a region page index to (segment index, page within
+// segment).
+func (r *Region) locatePageFrom(page int) (seg, pageInSeg int) {
+	for si := range r.segPin {
+		if page < r.segPin[si].pages {
+			return si, page
+		}
+		page -= r.segPin[si].pages
+	}
+	panic(fmt.Sprintf("core: page index %d beyond region", page))
+}
+
+// evictForLimit unpins idle LRU regions until adding n pages respects the
+// pinned-page limit. Active regions are never evicted; if only active
+// regions remain the limit is exceeded (correctness over policy).
+func (m *Manager) evictForLimit(n int, pinning *Region) {
+	if m.cfg.PinnedPageLimit <= 0 {
+		return
+	}
+	for m.pinnedTotal+n > m.cfg.PinnedPageLimit {
+		var victim *Region
+		for _, r := range m.regions {
+			if r == pinning || r.useCount > 0 || r.pinnedPages == 0 {
+				continue
+			}
+			if victim == nil || r.lastUse < victim.lastUse {
+				victim = r
+			}
+		}
+		if victim == nil {
+			return
+		}
+		// Charge the unpin cost; the state change is immediate so the
+		// accounting stays consistent with the decision just made.
+		m.core.Submit(cpu.Kernel, m.spec.UnpinCost(victim.pinnedPages), nil)
+		m.unpinNow(victim)
+		m.stats.LRUUnpins++
+	}
+}
+
+// InvalidateRange implements vm.Notifier: any region overlapping the
+// invalidated range is unpinned immediately (the callback runs before the
+// mapping changes, so the pins being dropped are still valid). The region
+// stays declared and will be repinned at its next use (paper §3.1). The
+// unpin CPU cost is charged at kernel priority on the manager's core — in
+// Linux it executes in the context of the thread performing the unmap.
+func (m *Manager) InvalidateRange(nr vm.NotifierRange) {
+	for _, r := range m.regions {
+		if r.pinnedPages == 0 && r.state != statePinning {
+			continue
+		}
+		if !r.overlaps(nr.Start, nr.End) {
+			continue
+		}
+		m.stats.InvalidateHits++
+		m.emit(trace.Invalidate, uint64(r.id), int(nr.Start), int(nr.End-nr.Start))
+		r.invalidated = true
+		// Outstanding waiters see the pin fail: their communication aborts
+		// rather than DMA-ing through a dying mapping.
+		m.failWaiters(r, fmt.Errorf("%w: invalidated (%v)", ErrPinFailed, nr.Reason))
+		m.failPrefixWaiters(r, fmt.Errorf("%w: invalidated (%v)", ErrPinFailed, nr.Reason))
+		m.core.Submit(cpu.Kernel, m.spec.UnpinCost(r.pinnedPages), nil)
+		m.unpinNow(r)
+		if r.useCount > 0 && m.OnInvalidateInUse != nil {
+			m.OnInvalidateInUse(r)
+		}
+	}
+}
+
+// emit records a trace event if a recorder is attached.
+func (m *Manager) emit(k trace.Kind, seq uint64, a, b int) {
+	if m.Trace == nil {
+		return
+	}
+	m.Trace.Emit(trace.Event{T: m.eng.Now(), Kind: k, Node: m.TraceNode, Seq: seq, A: a, B: b})
+}

@@ -1,0 +1,356 @@
+// Package core implements the paper's contribution: memory pinning
+// decoupled from the application.
+//
+// A user region (paper §2.2) is a possibly-vectorial set of user-space
+// segments declared once to the driver and referenced afterwards by a small
+// integer descriptor. Declaring a region does NOT pin it: the driver pins
+// on demand when a communication request needs the pages, may unpin at any
+// time (MMU-notifier invalidation, pinned-page pressure), and repins later
+// — all without telling user space (paper §3.1). Pinning can also be
+// overlapped with communication: the pin runs as deferred kernel work in
+// page chunks behind a progress cursor while the transfer is already on the
+// wire (paper §3.3).
+//
+// The package has two halves mirroring Figure 4 of the paper:
+//
+//   - RegionManager — the kernel/driver side: declared regions, the pin
+//     engine, MMU-notifier hookup, pinned-page accounting with LRU release.
+//   - Cache — the user-space side: an LRU of declared regions keyed by
+//     segment list, so repeated use of the same buffer reuses the same
+//     descriptor without a new declaration (the "pin-down cache" lineage,
+//     Tezuka et al. 1998, made reliable by keeping invalidation in the
+//     kernel).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"omxsim/internal/vm"
+)
+
+// Segment is one contiguous piece of a user region.
+type Segment struct {
+	Addr vm.Addr
+	Len  int
+}
+
+// RegionID is the integer descriptor user space uses to name a declared
+// region in communication requests (paper §3.2: requests carry only this).
+type RegionID uint32
+
+// PinPolicy selects how a region's pages get pinned.
+type PinPolicy int
+
+const (
+	// PinEachComm pins synchronously when a communication acquires the
+	// region and unpins when it releases it: the classical model, Figure 6's
+	// "Pin once per Communication".
+	PinEachComm PinPolicy = iota
+	// Permanent pins at declaration and unpins only at undeclaration:
+	// Figure 6's upper bound. Unsafe in general (ignores invalidations) but
+	// the paper uses it as the best-case reference.
+	Permanent
+	// OnDemand pins synchronously at first use and leaves the region
+	// pinned; MMU notifiers unpin on invalidation and the next use repins.
+	// Combined with the user-space Cache this is Figure 7's "Pinning Cache".
+	OnDemand
+	// Overlapped is OnDemand but the pin executes as deferred chunked
+	// kernel work while the transfer proceeds; accessors check the progress
+	// cursor (Figure 7's "Overlapped Pinning").
+	Overlapped
+	// NoPinning is the idealized QsNet-style model the paper's conclusion
+	// points at ("the idea of removing the need to pin entirely, as
+	// implemented on QSNET"): the NIC has a full MMU synchronized with the
+	// host page table, so nothing is ever pinned and accesses translate
+	// through the live page table at zero modeled cost. It is an upper
+	// bound, not something commodity Ethernet hardware can do.
+	NoPinning
+)
+
+// String names the policy as in the paper's figures.
+func (p PinPolicy) String() string {
+	switch p {
+	case PinEachComm:
+		return "pin-each-comm"
+	case Permanent:
+		return "permanent"
+	case OnDemand:
+		return "on-demand"
+	case Overlapped:
+		return "overlapped"
+	case NoPinning:
+		return "no-pinning"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Errors returned by region operations.
+var (
+	ErrUnknownRegion = errors.New("core: unknown region id")
+	ErrRegionBusy    = errors.New("core: region has active users")
+	ErrPinFailed     = errors.New("core: pinning failed (invalid segment?)")
+	ErrTooManySegs   = errors.New("core: too many segments")
+)
+
+// MaxSegments bounds a vectorial region's segment count (mirrors the
+// driver's fixed-size declaration buffer).
+const MaxSegments = 256
+
+// pinState tracks a region's pages.
+type pinState int
+
+const (
+	stateUnpinned pinState = iota
+	statePinning           // overlapped pin in progress
+	statePinned
+)
+
+// segPin holds the pin handles and flattened frames of one segment.
+type segPin struct {
+	pages   int // total pages covering the segment
+	handles []*vm.Pinned
+	frames  []*vm.Frame // flattened, one per pinned page so far
+}
+
+// Region is a declared user region (driver side).
+type Region struct {
+	id     RegionID
+	segs   []Segment
+	segPin []segPin
+	bytes  int
+	pages  int
+	// noPin marks a NoPinning-policy region: accesses translate through
+	// the live page table instead of pinned frames.
+	noPin bool
+	as    *vm.AddressSpace
+
+	state       pinState
+	pinnedPages int // progress cursor, in region page order across segments
+	epoch       uint64
+	useCount    int
+	lastUse     int64 // LRU tick from the manager
+
+	// waiters are completions waiting for the whole region to be pinned
+	// (synchronous policies) keyed off the current epoch.
+	waiters []pinWaiter
+	// prefixWaiters wait for a pin-progress threshold (overlapped prefix).
+	prefixWaiters []prefixWaiter
+
+	invalidated bool // saw a notifier hit while declared (stats/debug)
+}
+
+type pinWaiter struct {
+	epoch uint64
+	done  func(err error)
+}
+
+type prefixWaiter struct {
+	epoch uint64
+	pages int
+	done  func(err error)
+}
+
+// ID returns the region's descriptor.
+func (r *Region) ID() RegionID { return r.id }
+
+// Bytes returns the total byte length across segments.
+func (r *Region) Bytes() int { return r.bytes }
+
+// Pages returns the total page count across segments.
+func (r *Region) Pages() int { return r.pages }
+
+// PinnedPages returns the pin progress cursor.
+func (r *Region) PinnedPages() int { return r.pinnedPages }
+
+// Pinned reports whether every page is pinned.
+func (r *Region) Pinned() bool { return r.state == statePinned }
+
+// InUse reports whether any communication currently references the region.
+func (r *Region) InUse() bool { return r.useCount > 0 }
+
+// Segments returns a copy of the region's segment list.
+func (r *Region) Segments() []Segment {
+	out := make([]Segment, len(r.segs))
+	copy(out, r.segs)
+	return out
+}
+
+// pageSpan computes, for a byte range [off, off+length) within the region's
+// logical byte order, the inclusive range of region page indices it touches.
+// Region pages are numbered across segments in declaration order.
+func (r *Region) pageSpan(off, length int) (firstPage, lastPage int, err error) {
+	if off < 0 || length <= 0 || off+length > r.bytes {
+		return 0, 0, fmt.Errorf("core: byte range [%d,%d) outside region of %d bytes",
+			off, off+length, r.bytes)
+	}
+	pageBase := 0
+	remainingOff := off
+	remaining := length
+	first, last := -1, -1
+	for si, seg := range r.segs {
+		if remainingOff >= seg.Len {
+			remainingOff -= seg.Len
+			pageBase += r.segPin[si].pages
+			continue
+		}
+		// Range starts (or continues) in this segment.
+		segStart := remainingOff
+		n := seg.Len - segStart
+		if n > remaining {
+			n = remaining
+		}
+		firstByte := seg.Addr + vm.Addr(segStart)
+		lastByte := seg.Addr + vm.Addr(segStart+n-1)
+		fp := pageBase + int((vm.PageAlignDown(firstByte)-vm.PageAlignDown(seg.Addr))>>vm.PageShift)
+		lp := pageBase + int((vm.PageAlignDown(lastByte)-vm.PageAlignDown(seg.Addr))>>vm.PageShift)
+		if first == -1 {
+			first = fp
+		}
+		last = lp
+		remaining -= n
+		remainingOff = 0
+		pageBase += r.segPin[si].pages
+		if remaining == 0 {
+			break
+		}
+	}
+	if remaining != 0 || first == -1 {
+		return 0, 0, fmt.Errorf("core: internal: range [%d,%d) not covered by segments", off, off+length)
+	}
+	return first, last, nil
+}
+
+// Ready reports whether the byte range [off, off+length) lies entirely
+// within the pinned prefix — the accessor test the paper adds for
+// overlapped pinning ("some additional tests on the region descriptor when
+// an incoming packet is processed", §4.2).
+func (r *Region) Ready(off, length int) bool {
+	if r.noPin {
+		return off >= 0 && length >= 0 && off+length <= r.bytes
+	}
+	if r.state == statePinned {
+		return true
+	}
+	if length <= 0 {
+		return off >= 0 && off <= r.bytes
+	}
+	_, last, err := r.pageSpan(off, length)
+	if err != nil {
+		return false
+	}
+	return last < r.pinnedPages
+}
+
+// access iterates the pinned frames covering [off, off+length). NoPinning
+// regions delegate to the virtual accessors instead.
+func (r *Region) access(off, length int, fn func(f *vm.Frame, frameOff, n, done int)) error {
+	if !r.Ready(off, length) {
+		return fmt.Errorf("core: access [%d,%d) beyond pinned prefix (%d/%d pages): %w",
+			off, off+length, r.pinnedPages, r.pages, ErrPinFailed)
+	}
+	done := 0
+	segOff := off
+	for si, seg := range r.segs {
+		if segOff >= seg.Len {
+			segOff -= seg.Len
+			continue
+		}
+		sp := &r.segPin[si]
+		for done < length && segOff < seg.Len {
+			a := seg.Addr + vm.Addr(segOff)
+			pageIdx := int((vm.PageAlignDown(a) - vm.PageAlignDown(seg.Addr)) >> vm.PageShift)
+			frameOff := int(a - vm.PageAlignDown(a))
+			n := vm.PageSize - frameOff
+			if n > length-done {
+				n = length - done
+			}
+			if n > seg.Len-segOff {
+				n = seg.Len - segOff
+			}
+			f := sp.frames[pageIdx]
+			fn(f, frameOff, n, done)
+			done += n
+			segOff += n
+		}
+		segOff = 0
+		if done >= length {
+			return nil
+		}
+	}
+	if done != length {
+		return fmt.Errorf("core: internal: accessed %d of %d bytes", done, length)
+	}
+	return nil
+}
+
+// ReadAt copies length bytes at region byte offset off into dst, through
+// the pinned frames (device-side access: no page-table walk). The range
+// must be Ready. NoPinning regions translate through the live page table
+// (the NIC-MMU model).
+func (r *Region) ReadAt(off int, dst []byte) error {
+	if r.noPin {
+		return r.virtAccess(off, len(dst), func(a vm.Addr, b []byte) error {
+			return r.as.Read(a, b)
+		}, dst)
+	}
+	return r.access(off, len(dst), func(f *vm.Frame, fo, n, done int) {
+		f.Read(fo, dst[done:done+n])
+	})
+}
+
+// WriteAt copies src into the region at byte offset off. The range must be
+// Ready.
+func (r *Region) WriteAt(off int, src []byte) error {
+	if r.noPin {
+		return r.virtAccess(off, len(src), func(a vm.Addr, b []byte) error {
+			return r.as.Write(a, b)
+		}, src)
+	}
+	return r.access(off, len(src), func(f *vm.Frame, fo, n, done int) {
+		f.Write(fo, src[done:done+n])
+	})
+}
+
+// virtAccess walks the segment list and performs op on each virtual piece
+// of [off, off+length).
+func (r *Region) virtAccess(off, length int, op func(vm.Addr, []byte) error, buf []byte) error {
+	if off < 0 || off+length > r.bytes {
+		return fmt.Errorf("core: access [%d,%d) outside region of %d bytes", off, off+length, r.bytes)
+	}
+	done := 0
+	segOff := off
+	for _, seg := range r.segs {
+		if segOff >= seg.Len {
+			segOff -= seg.Len
+			continue
+		}
+		n := seg.Len - segOff
+		if n > length-done {
+			n = length - done
+		}
+		if err := op(seg.Addr+vm.Addr(segOff), buf[done:done+n]); err != nil {
+			return err
+		}
+		done += n
+		segOff = 0
+		if done >= length {
+			return nil
+		}
+	}
+	return nil
+}
+
+// overlaps reports whether the virtual range [start,end) intersects any
+// segment of the region.
+func (r *Region) overlaps(start, end vm.Addr) bool {
+	for _, seg := range r.segs {
+		sStart := vm.PageAlignDown(seg.Addr)
+		sEnd := vm.PageAlignUp(seg.Addr + vm.Addr(seg.Len))
+		if start < sEnd && sStart < end {
+			return true
+		}
+	}
+	return false
+}

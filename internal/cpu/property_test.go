@@ -1,0 +1,77 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"omxsim/internal/sim"
+)
+
+// TestPropWorkConservation: a core is never idle while work is queued, and
+// total busy time equals the sum of all submitted durations.
+func TestPropWorkConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := sim.NewEngine(seed)
+		c := NewMachine(e, XeonE5460).Core(0)
+		var total sim.Duration
+		n := 20 + rng.Intn(80)
+		var lastDone sim.Time
+		for i := 0; i < n; i++ {
+			d := sim.Duration(1 + rng.Intn(5000))
+			total += d
+			prio := Priority(rng.Intn(3))
+			at := sim.Time(rng.Intn(2000))
+			e.At(at, func() {
+				c.Submit(prio, d, func() { lastDone = e.Now() })
+			})
+		}
+		e.Run()
+		var busy sim.Duration
+		for p := Priority(0); p < numPriorities; p++ {
+			busy += c.BusyTime(p)
+		}
+		if busy != total {
+			return false
+		}
+		// Completion can't beat the critical path: at least `total` of work
+		// happened, so the last completion is no earlier than total work
+		// after the earliest possible start.
+		return lastDone >= sim.Time(total)-2000
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropPriorityNoStarvationAccounting: within a burst submitted at one
+// instant, all bottom-half work completes before any user work starts.
+func TestPropPriorityOrdering(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := sim.NewEngine(seed)
+		c := NewMachine(e, XeonE5460).Core(0)
+		nBH := 1 + rng.Intn(10)
+		nUser := 1 + rng.Intn(10)
+		var lastBH, firstUser sim.Time
+		firstUser = -1
+		// Occupy the core so everything below queues.
+		c.Submit(User, 10, nil)
+		for i := 0; i < nBH; i++ {
+			c.Submit(BottomHalf, sim.Duration(1+rng.Intn(100)), func() { lastBH = e.Now() })
+		}
+		for i := 0; i < nUser; i++ {
+			c.Submit(User, sim.Duration(1+rng.Intn(100)), func() {
+				if firstUser < 0 {
+					firstUser = e.Now()
+				}
+			})
+		}
+		e.Run()
+		return firstUser > lastBH
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

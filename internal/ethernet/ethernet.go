@@ -1,0 +1,207 @@
+// Package ethernet simulates the generic Ethernet layer Open-MX runs on: a
+// full-duplex point-to-point fabric of NICs and links with wire
+// serialization, propagation delay, per-frame overheads, MTU enforcement,
+// optional loss injection, and RX interrupts.
+//
+// The model deliberately stops at the abstraction Open-MX sees: frames go
+// in, frames come out later, receives happen in interrupt context (the
+// driver schedules bottom-half work from the RX callback). Fragmentation,
+// retransmission, and message semantics live in the omx protocol layer.
+package ethernet
+
+import (
+	"fmt"
+
+	"omxsim/internal/sim"
+)
+
+// Frame wire-format constants.
+const (
+	// MTU is the maximum payload per frame. 10G HPC deployments use jumbo
+	// frames; the Myri-10G NICs in the paper's testbed run MTU 9000.
+	DefaultMTU = 9000
+	// WireOverhead is the non-payload cost per frame on the wire: preamble
+	// (8) + Ethernet header (14) + FCS (4) + inter-frame gap (12).
+	WireOverhead = 38
+)
+
+// Frame is one Ethernet frame. Payload is an opaque protocol message; Size
+// is the payload size in bytes as serialized on the wire (protocol headers
+// included), which determines transmission time.
+type Frame struct {
+	Src, Dst int // node IDs
+	Size     int // payload bytes, <= MTU
+	Payload  any
+}
+
+// LinkConfig describes one direction-pair of cabling.
+type LinkConfig struct {
+	// BytesPerSec is the raw signalling rate. 10 Gb/s = 1.25e9.
+	BytesPerSec float64
+	// PropDelay is one-way propagation + PHY latency.
+	PropDelay sim.Duration
+	// DropProb is an i.i.d. frame-loss probability (deterministic via the
+	// engine RNG). Usually 0; tests and loss experiments raise it.
+	DropProb float64
+}
+
+// DefaultLinkConfig is a 10G link with sub-microsecond PHY latency.
+func DefaultLinkConfig() LinkConfig {
+	return LinkConfig{BytesPerSec: 1.25e9, PropDelay: 500 * sim.Nanosecond}
+}
+
+// NIC is a network interface. RX delivery invokes the registered handler in
+// "interrupt context" — handlers are expected to do minimal work and
+// schedule bottom-half processing on a core.
+type NIC struct {
+	eng    *sim.Engine
+	nodeID int
+	mtu    int
+	// TxOverhead is host-side per-frame send cost charged on the wire
+	// schedule (descriptor ring, DMA setup). It serializes with frames.
+	txOverhead sim.Duration
+	fabric     *Fabric
+	handler    func(*Frame)
+
+	txBusyUntil sim.Time
+
+	// Statistics.
+	txFrames, rxFrames uint64
+	txBytes, rxBytes   uint64
+	dropped            uint64
+}
+
+// NodeID returns the identifier this NIC was registered under.
+func (n *NIC) NodeID() int { return n.nodeID }
+
+// MTU returns the NIC's maximum payload size.
+func (n *NIC) MTU() int { return n.mtu }
+
+// TxFrames reports frames sent. RxFrames reports frames delivered.
+func (n *NIC) TxFrames() uint64 { return n.txFrames }
+
+// RxFrames reports frames delivered to the handler.
+func (n *NIC) RxFrames() uint64 { return n.rxFrames }
+
+// TxBytes reports payload bytes sent.
+func (n *NIC) TxBytes() uint64 { return n.txBytes }
+
+// RxBytes reports payload bytes received.
+func (n *NIC) RxBytes() uint64 { return n.rxBytes }
+
+// Dropped reports frames lost on links out of this NIC.
+func (n *NIC) Dropped() uint64 { return n.dropped }
+
+// SetHandler installs the RX interrupt handler.
+func (n *NIC) SetHandler(h func(*Frame)) { n.handler = h }
+
+// Fabric is a set of NICs with a link between every pair (and a loopback
+// path within a node). Every inter-node pair shares the LinkConfig given at
+// construction.
+type Fabric struct {
+	eng  *sim.Engine
+	cfg  LinkConfig
+	nics map[int]*NIC
+	// links serialize per (src,dst) direction: busy-until times.
+	linkBusy map[[2]int]sim.Time
+	// DropFilter, when non-nil, is consulted per frame; returning true
+	// drops it. Used for deterministic loss injection in tests.
+	DropFilter func(*Frame) bool
+	// LoopbackBytesPerSec bounds intra-node delivery (shared-memory-ish);
+	// zero means same speed as the wire.
+	LoopbackBytesPerSec float64
+}
+
+// NewFabric creates an empty fabric with the given link parameters.
+func NewFabric(eng *sim.Engine, cfg LinkConfig) *Fabric {
+	if cfg.BytesPerSec <= 0 {
+		panic("ethernet: non-positive link bandwidth")
+	}
+	return &Fabric{
+		eng:      eng,
+		cfg:      cfg,
+		nics:     make(map[int]*NIC),
+		linkBusy: make(map[[2]int]sim.Time),
+	}
+}
+
+// AddNIC registers a NIC for nodeID with the given MTU (0 selects
+// DefaultMTU) and returns it.
+func (f *Fabric) AddNIC(nodeID, mtu int) *NIC {
+	if _, dup := f.nics[nodeID]; dup {
+		panic(fmt.Sprintf("ethernet: duplicate NIC for node %d", nodeID))
+	}
+	if mtu <= 0 {
+		mtu = DefaultMTU
+	}
+	n := &NIC{
+		eng:        f.eng,
+		nodeID:     nodeID,
+		mtu:        mtu,
+		txOverhead: 200 * sim.Nanosecond,
+		fabric:     f,
+	}
+	f.nics[nodeID] = n
+	return n
+}
+
+// NIC returns the NIC registered for nodeID.
+func (f *Fabric) NIC(nodeID int) *NIC { return f.nics[nodeID] }
+
+// Config returns the fabric's link configuration.
+func (f *Fabric) Config() LinkConfig { return f.cfg }
+
+// Send transmits a frame. The frame occupies the (src,dst) direction of the
+// wire for its serialization time; frames queued behind it wait. Delivery
+// fires the destination NIC's handler after propagation. Sending to an
+// unknown destination or oversized frames panic — both are driver bugs, not
+// runtime conditions.
+func (n *NIC) Send(fr *Frame) {
+	if fr.Size < 0 || fr.Size > n.mtu {
+		panic(fmt.Sprintf("ethernet: frame size %d outside [0,%d]", fr.Size, n.mtu))
+	}
+	dst, ok := n.fabric.nics[fr.Dst]
+	if !ok {
+		panic(fmt.Sprintf("ethernet: send to unknown node %d", fr.Dst))
+	}
+	fr.Src = n.nodeID
+	n.txFrames++
+	n.txBytes += uint64(fr.Size)
+
+	bw := n.fabric.cfg.BytesPerSec
+	if fr.Dst == n.nodeID && n.fabric.LoopbackBytesPerSec > 0 {
+		bw = n.fabric.LoopbackBytesPerSec
+	}
+	wireTime := sim.Duration(float64(fr.Size+WireOverhead) / bw * 1e9)
+
+	key := [2]int{n.nodeID, fr.Dst}
+	start := n.fabric.linkBusy[key]
+	if now := n.eng.Now(); start < now {
+		start = now
+	}
+	start += n.txOverhead
+	end := start + wireTime
+	n.fabric.linkBusy[key] = end
+
+	if n.fabric.DropFilter != nil && n.fabric.DropFilter(fr) {
+		n.dropped++
+		return
+	}
+	if p := n.fabric.cfg.DropProb; p > 0 && n.eng.Rand().Float64() < p {
+		n.dropped++
+		return
+	}
+	n.eng.At(end+n.fabric.cfg.PropDelay, func() {
+		dst.rxFrames++
+		dst.rxBytes += uint64(fr.Size)
+		if dst.handler != nil {
+			dst.handler(fr)
+		}
+	})
+}
+
+// SerializationTime reports how long a payload of size bytes occupies the
+// wire, including per-frame overhead. Useful for calibration tests.
+func (f *Fabric) SerializationTime(size int) sim.Duration {
+	return sim.Duration(float64(size+WireOverhead) / f.cfg.BytesPerSec * 1e9)
+}

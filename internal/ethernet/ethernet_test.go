@@ -1,0 +1,186 @@
+package ethernet
+
+import (
+	"testing"
+
+	"omxsim/internal/sim"
+)
+
+func twoNodes(t *testing.T, cfg LinkConfig) (*sim.Engine, *Fabric, *NIC, *NIC) {
+	t.Helper()
+	e := sim.NewEngine(7)
+	f := NewFabric(e, cfg)
+	return e, f, f.AddNIC(0, 0), f.AddNIC(1, 0)
+}
+
+func TestFrameDelivery(t *testing.T) {
+	e, _, a, b := twoNodes(t, DefaultLinkConfig())
+	var got *Frame
+	var at sim.Time
+	b.SetHandler(func(fr *Frame) { got, at = fr, e.Now() })
+	a.Send(&Frame{Dst: 1, Size: 1000, Payload: "hello"})
+	e.Run()
+	if got == nil || got.Payload != "hello" || got.Src != 0 {
+		t.Fatalf("got %+v", got)
+	}
+	// 200ns tx overhead + (1000+38)/1.25e9 s + 500ns prop = 200+830+500
+	want := sim.Time(200 + 830 + 500)
+	if at != want {
+		t.Fatalf("delivered at %v, want %v", at, want)
+	}
+	if a.TxFrames() != 1 || b.RxFrames() != 1 || a.TxBytes() != 1000 || b.RxBytes() != 1000 {
+		t.Fatal("counters wrong")
+	}
+}
+
+func TestWireSerializesBackToBackFrames(t *testing.T) {
+	e, _, a, b := twoNodes(t, DefaultLinkConfig())
+	var arrivals []sim.Time
+	b.SetHandler(func(fr *Frame) { arrivals = append(arrivals, e.Now()) })
+	for i := 0; i < 3; i++ {
+		a.Send(&Frame{Dst: 1, Size: 9000})
+	}
+	e.Run()
+	if len(arrivals) != 3 {
+		t.Fatalf("got %d arrivals", len(arrivals))
+	}
+	// Each frame occupies the wire for (9000+38)/1.25e9 = 7230ns plus 200ns
+	// tx overhead. Gaps between arrivals must equal that spacing.
+	gap := arrivals[1] - arrivals[0]
+	if gap != arrivals[2]-arrivals[1] {
+		t.Fatalf("unequal gaps %v vs %v", gap, arrivals[2]-arrivals[1])
+	}
+	if gap != 7230+200 {
+		t.Fatalf("gap = %v, want 7430", gap)
+	}
+}
+
+func TestDirectionsAreIndependent(t *testing.T) {
+	e, _, a, b := twoNodes(t, DefaultLinkConfig())
+	var atB, atA sim.Time
+	b.SetHandler(func(fr *Frame) { atB = e.Now() })
+	a.SetHandler(func(fr *Frame) { atA = e.Now() })
+	a.Send(&Frame{Dst: 1, Size: 9000})
+	b.Send(&Frame{Dst: 0, Size: 9000})
+	e.Run()
+	if atA != atB {
+		t.Fatalf("full duplex broken: %v vs %v", atA, atB)
+	}
+}
+
+func TestThroughputApproaches10G(t *testing.T) {
+	e, f, a, b := twoNodes(t, DefaultLinkConfig())
+	const frames = 1000
+	var last sim.Time
+	n := 0
+	b.SetHandler(func(fr *Frame) { n++; last = e.Now() })
+	for i := 0; i < frames; i++ {
+		a.Send(&Frame{Dst: 1, Size: 9000})
+	}
+	e.Run()
+	if n != frames {
+		t.Fatalf("delivered %d frames", n)
+	}
+	gbps := float64(frames*9000*8) / last.Seconds() / 1e9
+	if gbps < 9.4 || gbps > 10.0 {
+		t.Fatalf("goodput = %.2f Gb/s, want ~9.7", gbps)
+	}
+	_ = f
+}
+
+func TestOversizeFramePanics(t *testing.T) {
+	_, _, a, _ := twoNodes(t, DefaultLinkConfig())
+	defer func() {
+		if recover() == nil {
+			t.Error("oversize frame did not panic")
+		}
+	}()
+	a.Send(&Frame{Dst: 1, Size: DefaultMTU + 1})
+}
+
+func TestUnknownDestinationPanics(t *testing.T) {
+	_, _, a, _ := twoNodes(t, DefaultLinkConfig())
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown destination did not panic")
+		}
+	}()
+	a.Send(&Frame{Dst: 99, Size: 10})
+}
+
+func TestDropFilter(t *testing.T) {
+	e, f, a, b := twoNodes(t, DefaultLinkConfig())
+	drops := 0
+	f.DropFilter = func(fr *Frame) bool {
+		drops++
+		return drops == 1 // drop only the first frame
+	}
+	var got []int
+	b.SetHandler(func(fr *Frame) { got = append(got, fr.Payload.(int)) })
+	a.Send(&Frame{Dst: 1, Size: 100, Payload: 1})
+	a.Send(&Frame{Dst: 1, Size: 100, Payload: 2})
+	e.Run()
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("got %v, want [2]", got)
+	}
+	if a.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", a.Dropped())
+	}
+}
+
+func TestProbabilisticDropIsDeterministic(t *testing.T) {
+	run := func() uint64 {
+		e := sim.NewEngine(99)
+		cfg := DefaultLinkConfig()
+		cfg.DropProb = 0.3
+		f := NewFabric(e, cfg)
+		a := f.AddNIC(0, 0)
+		f.AddNIC(1, 0)
+		for i := 0; i < 200; i++ {
+			a.Send(&Frame{Dst: 1, Size: 100})
+		}
+		e.Run()
+		return a.Dropped()
+	}
+	d1, d2 := run(), run()
+	if d1 != d2 {
+		t.Fatalf("drop counts differ across identical runs: %d vs %d", d1, d2)
+	}
+	if d1 == 0 || d1 == 200 {
+		t.Fatalf("drop count %d implausible for p=0.3", d1)
+	}
+}
+
+func TestLoopbackDelivery(t *testing.T) {
+	e := sim.NewEngine(1)
+	f := NewFabric(e, DefaultLinkConfig())
+	f.LoopbackBytesPerSec = 5e9
+	a := f.AddNIC(0, 0)
+	var got bool
+	a.SetHandler(func(fr *Frame) { got = true })
+	a.Send(&Frame{Dst: 0, Size: 4096})
+	e.Run()
+	if !got {
+		t.Fatal("loopback frame not delivered")
+	}
+}
+
+func TestSerializationTime(t *testing.T) {
+	e := sim.NewEngine(1)
+	f := NewFabric(e, DefaultLinkConfig())
+	if got := f.SerializationTime(9000); got != 7230 {
+		t.Fatalf("SerializationTime(9000) = %v, want 7230ns", got)
+	}
+}
+
+func TestDuplicateNICPanics(t *testing.T) {
+	e := sim.NewEngine(1)
+	f := NewFabric(e, DefaultLinkConfig())
+	f.AddNIC(0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate NIC did not panic")
+		}
+	}()
+	f.AddNIC(0, 0)
+}

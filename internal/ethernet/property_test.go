@@ -1,0 +1,87 @@
+package ethernet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"omxsim/internal/sim"
+)
+
+// TestPropFIFOPerDirection: frames between one (src,dst) pair are always
+// delivered in send order, whatever the size mix — the ordering invariant
+// the omx gap-detection recovery depends on.
+func TestPropFIFOPerDirection(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := sim.NewEngine(seed)
+		fab := NewFabric(e, DefaultLinkConfig())
+		a := fab.AddNIC(0, 0)
+		b := fab.AddNIC(1, 0)
+		var got []int
+		b.SetHandler(func(fr *Frame) { got = append(got, fr.Payload.(int)) })
+		n := 50 + rng.Intn(100)
+		sent := 0
+		for i := 0; i < n; i++ {
+			// Random send times and sizes.
+			e.At(sim.Time(rng.Intn(1000)*10), func() {
+				a.Send(&Frame{Dst: 1, Size: 1 + rng.Intn(9000), Payload: sent})
+				sent++
+			})
+		}
+		e.Run()
+		if len(got) != n {
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropConservation: without drops, every frame sent is delivered
+// exactly once, and byte counters balance.
+func TestPropConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := sim.NewEngine(seed)
+		fab := NewFabric(e, DefaultLinkConfig())
+		nics := []*NIC{fab.AddNIC(0, 0), fab.AddNIC(1, 0), fab.AddNIC(2, 0)}
+		delivered := make([]uint64, 3)
+		for i, n := range nics {
+			i := i
+			n.SetHandler(func(fr *Frame) { delivered[i]++ })
+		}
+		total := 0
+		for i := 0; i < 200; i++ {
+			src := rng.Intn(3)
+			dst := rng.Intn(3)
+			if dst == src {
+				continue
+			}
+			total++
+			s, d := src, dst
+			e.At(sim.Time(rng.Intn(5000)), func() {
+				nics[s].Send(&Frame{Dst: d, Size: rng.Intn(4096)})
+			})
+		}
+		e.Run()
+		sum := uint64(0)
+		for i, n := range nics {
+			sum += delivered[i]
+			if n.RxFrames() != delivered[i] {
+				return false
+			}
+		}
+		return sum == uint64(total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

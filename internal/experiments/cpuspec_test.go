@@ -1,0 +1,5 @@
+package experiments
+
+import "omxsim/internal/cpu"
+
+func cpuSpec() cpu.Spec { return cpu.XeonE5460 }

@@ -1,0 +1,397 @@
+// Package imb reimplements the Intel MPI Benchmarks kernels used in the
+// paper's evaluation: PingPong (Figures 6 and 7) and the Table 2 set
+// (SendRecv, Allgatherv, Broadcast, Reduce, Allreduce, Reduce_scatter,
+// Exchange). Semantics follow IMB conventions: buffers are allocated once
+// per (benchmark, size) and reused across iterations — which is precisely
+// the reuse pattern a pinning cache exploits — timing runs between
+// barriers, and reported time is per operation.
+package imb
+
+import (
+	"fmt"
+
+	"omxsim/internal/mpi"
+	"omxsim/internal/sim"
+)
+
+// Result is one (benchmark, size) measurement.
+type Result struct {
+	Benchmark  string
+	Size       int
+	Iterations int
+	// AvgTime is simulated time per operation (per half round trip for
+	// PingPong, matching IMB's t=Δt/2 convention).
+	AvgTime sim.Duration
+	// MBps is the IMB throughput metric where defined (PingPong, SendRecv,
+	// Exchange), in MiB/s.
+	MBps float64
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%-14s %9d B %6d it %12v %10.1f MiB/s",
+		r.Benchmark, r.Size, r.Iterations, r.AvgTime, r.MBps)
+}
+
+// Iterations picks the IMB-style repetition count for a message size:
+// enough to stabilize, capped so huge messages don't dominate runtime.
+func Iterations(size int) int {
+	switch {
+	case size <= 4*1024:
+		return 60
+	case size <= 64*1024:
+		return 30
+	case size <= 1<<20:
+		return 15
+	default:
+		return 8
+	}
+}
+
+// DefaultSizes is the message-size sweep used by the Table 2 runs:
+// IMB's power-of-two schedule from 4 B to 4 MiB.
+func DefaultSizes() []int {
+	var sizes []int
+	for s := 4; s <= 4<<20; s *= 4 {
+		sizes = append(sizes, s)
+	}
+	return sizes
+}
+
+// LargeSizes is the Figure 6/7 sweep: 64 KiB to 16 MiB (the paper plots
+// only the rendezvous range).
+func LargeSizes() []int {
+	var sizes []int
+	for s := 64 * 1024; s <= 16<<20; s *= 2 {
+		sizes = append(sizes, s)
+	}
+	return sizes
+}
+
+// timeRegion runs body between barriers and returns the elapsed time as
+// observed by this rank (all ranks leave the first barrier together, so
+// rank-local elapsed time includes straggling).
+func timeRegion(c *mpi.Comm, body func()) sim.Duration {
+	c.Barrier()
+	t0 := c.Now()
+	body()
+	c.Barrier()
+	return c.Now() - t0
+}
+
+// PingPong bounces a message between ranks 0 and 1 (other ranks idle).
+// Returns IMB's half-round-trip time and derived throughput.
+func PingPong(c *mpi.Comm, size, iters int) Result {
+	const tag = 1000
+	var elapsed sim.Duration
+	if c.Rank() <= 1 {
+		sbuf := c.Malloc(max(size, 1))
+		rbuf := c.Malloc(max(size, 1))
+		defer c.Free(sbuf)
+		defer c.Free(rbuf)
+		peer := 1 - c.Rank()
+		elapsed = timeRegion(c, func() {
+			for i := 0; i < iters; i++ {
+				if c.Rank() == 0 {
+					c.Send(sbuf, size, peer, tag)
+					c.Recv(rbuf, size, peer, tag)
+				} else {
+					c.Recv(rbuf, size, peer, tag)
+					c.Send(sbuf, size, peer, tag)
+				}
+			}
+		})
+	} else {
+		elapsed = timeRegion(c, func() {})
+	}
+	avg := elapsed / sim.Duration(2*iters)
+	mbps := 0.0
+	if avg > 0 {
+		mbps = float64(size) / avg.Seconds() / (1 << 20)
+	}
+	return Result{Benchmark: "PingPong", Size: size, Iterations: iters, AvgTime: avg, MBps: mbps}
+}
+
+// SendRecv forms a periodic ring: every rank sends to its right neighbour
+// and receives from the left simultaneously (MPI_Sendrecv chain).
+func SendRecv(c *mpi.Comm, size, iters int) Result {
+	const tag = 1001
+	sbuf := c.Malloc(max(size, 1))
+	rbuf := c.Malloc(max(size, 1))
+	defer c.Free(sbuf)
+	defer c.Free(rbuf)
+	right := (c.Rank() + 1) % c.Size()
+	left := (c.Rank() - 1 + c.Size()) % c.Size()
+	elapsed := timeRegion(c, func() {
+		for i := 0; i < iters; i++ {
+			c.Sendrecv(sbuf, size, right, tag, rbuf, size, left, tag)
+		}
+	})
+	avg := elapsed / sim.Duration(iters)
+	mbps := 0.0
+	if avg > 0 {
+		// IMB counts both directions.
+		mbps = 2 * float64(size) / avg.Seconds() / (1 << 20)
+	}
+	return Result{Benchmark: "SendRecv", Size: size, Iterations: iters, AvgTime: avg, MBps: mbps}
+}
+
+// Exchange sends to and receives from both neighbours each iteration (IMB's
+// boundary-exchange pattern: 4 messages per rank per iteration).
+func Exchange(c *mpi.Comm, size, iters int) Result {
+	const tag = 1002
+	sbuf1 := c.Malloc(max(size, 1))
+	sbuf2 := c.Malloc(max(size, 1))
+	rbuf1 := c.Malloc(max(size, 1))
+	rbuf2 := c.Malloc(max(size, 1))
+	defer c.Free(sbuf1)
+	defer c.Free(sbuf2)
+	defer c.Free(rbuf1)
+	defer c.Free(rbuf2)
+	right := (c.Rank() + 1) % c.Size()
+	left := (c.Rank() - 1 + c.Size()) % c.Size()
+	elapsed := timeRegion(c, func() {
+		for i := 0; i < iters; i++ {
+			s1 := c.Isend(sbuf1, size, left, tag)
+			s2 := c.Isend(sbuf2, size, right, tag)
+			r1 := c.Irecv(rbuf1, size, left, tag)
+			r2 := c.Irecv(rbuf2, size, right, tag)
+			c.WaitAll(s1, s2, r1, r2)
+		}
+	})
+	avg := elapsed / sim.Duration(iters)
+	mbps := 0.0
+	if avg > 0 {
+		mbps = 4 * float64(size) / avg.Seconds() / (1 << 20)
+	}
+	return Result{Benchmark: "Exchange", Size: size, Iterations: iters, AvgTime: avg, MBps: mbps}
+}
+
+// Bcast broadcasts from a rotating root (IMB rotates the root each
+// iteration to avoid favouring one rank's cache).
+func Bcast(c *mpi.Comm, size, iters int) Result {
+	buf := c.Malloc(max(size, 1))
+	defer c.Free(buf)
+	elapsed := timeRegion(c, func() {
+		for i := 0; i < iters; i++ {
+			c.Bcast(buf, size, i%c.Size())
+		}
+	})
+	return Result{Benchmark: "Broadcast", Size: size, Iterations: iters,
+		AvgTime: elapsed / sim.Duration(iters)}
+}
+
+// Reduce sums float64 vectors to a rotating root.
+func Reduce(c *mpi.Comm, size, iters int) Result {
+	buf := c.Malloc(max(size, 8))
+	defer c.Free(buf)
+	elapsed := timeRegion(c, func() {
+		for i := 0; i < iters; i++ {
+			c.Reduce(buf, size&^7, i%c.Size(), mpi.SumFloat64)
+		}
+	})
+	return Result{Benchmark: "Reduce", Size: size, Iterations: iters,
+		AvgTime: elapsed / sim.Duration(iters)}
+}
+
+// Allreduce sums float64 vectors across all ranks.
+func Allreduce(c *mpi.Comm, size, iters int) Result {
+	buf := c.Malloc(max(size, 8))
+	defer c.Free(buf)
+	elapsed := timeRegion(c, func() {
+		for i := 0; i < iters; i++ {
+			c.Allreduce(buf, size&^7, mpi.SumFloat64)
+		}
+	})
+	return Result{Benchmark: "Allreduce", Size: size, Iterations: iters,
+		AvgTime: elapsed / sim.Duration(iters)}
+}
+
+// ReduceScatter reduces and scatters equal chunks to every rank.
+func ReduceScatter(c *mpi.Comm, size, iters int) Result {
+	per := (size / c.Size()) &^ 7
+	if per == 0 {
+		per = 8
+	}
+	counts := make([]int, c.Size())
+	for i := range counts {
+		counts[i] = per
+	}
+	buf := c.Malloc(per * c.Size())
+	defer c.Free(buf)
+	elapsed := timeRegion(c, func() {
+		for i := 0; i < iters; i++ {
+			c.ReduceScatter(buf, counts, mpi.SumFloat64)
+		}
+	})
+	return Result{Benchmark: "Reduce_scatter", Size: size, Iterations: iters,
+		AvgTime: elapsed / sim.Duration(iters)}
+}
+
+// Allgatherv gathers size/nranks bytes from every rank to all ranks.
+func Allgatherv(c *mpi.Comm, size, iters int) Result {
+	per := size / c.Size()
+	if per == 0 {
+		per = 1
+	}
+	counts := make([]int, c.Size())
+	for i := range counts {
+		counts[i] = per
+	}
+	send := c.Malloc(per)
+	recv := c.Malloc(per * c.Size())
+	defer c.Free(send)
+	defer c.Free(recv)
+	elapsed := timeRegion(c, func() {
+		for i := 0; i < iters; i++ {
+			c.Allgatherv(send, recv, counts)
+		}
+	})
+	return Result{Benchmark: "Allgatherv", Size: size, Iterations: iters,
+		AvgTime: elapsed / sim.Duration(iters)}
+}
+
+// Kernel is a runnable IMB benchmark.
+type Kernel struct {
+	Name string
+	Run  func(c *mpi.Comm, size, iters int) Result
+}
+
+// Table2Kernels returns the benchmarks of the paper's Table 2, in its row
+// order.
+func Table2Kernels() []Kernel {
+	return []Kernel{
+		{"SendRecv", SendRecv},
+		{"Allgatherv", Allgatherv},
+		{"Broadcast", Bcast},
+		{"Reduce", Reduce},
+		{"Allreduce", Allreduce},
+		{"Reduce_scatter", ReduceScatter},
+		{"Exchange", Exchange},
+	}
+}
+
+// RunSweep executes a kernel over the size schedule and returns the total
+// simulated time spent in timed regions plus per-size results. The total is
+// what Table 2's "execution time improvement" compares.
+func RunSweep(c *mpi.Comm, k Kernel, sizes []int) (sim.Duration, []Result) {
+	var total sim.Duration
+	var results []Result
+	for _, s := range sizes {
+		r := k.Run(c, s, Iterations(s))
+		results = append(results, r)
+		total += r.AvgTime * sim.Duration(r.Iterations)
+	}
+	return total, results
+}
+
+// PingPing: both ranks send simultaneously and then receive (full-duplex
+// point-to-point, IMB's PingPing benchmark). Ranks beyond the first two
+// idle at the barriers.
+func PingPing(c *mpi.Comm, size, iters int) Result {
+	const tag = 1003
+	var elapsed sim.Duration
+	if c.Rank() <= 1 {
+		sbuf := c.Malloc(max(size, 1))
+		rbuf := c.Malloc(max(size, 1))
+		defer c.Free(sbuf)
+		defer c.Free(rbuf)
+		peer := 1 - c.Rank()
+		elapsed = timeRegion(c, func() {
+			for i := 0; i < iters; i++ {
+				sr := c.Isend(sbuf, size, peer, tag)
+				rr := c.Irecv(rbuf, size, peer, tag)
+				c.Wait(sr)
+				c.Wait(rr)
+			}
+		})
+	} else {
+		elapsed = timeRegion(c, func() {})
+	}
+	avg := elapsed / sim.Duration(iters)
+	mbps := 0.0
+	if avg > 0 {
+		mbps = float64(size) / avg.Seconds() / (1 << 20)
+	}
+	return Result{Benchmark: "PingPing", Size: size, Iterations: iters, AvgTime: avg, MBps: mbps}
+}
+
+// Alltoall exchanges size/nranks bytes with every rank (IMB Alltoall).
+func Alltoall(c *mpi.Comm, size, iters int) Result {
+	per := size / c.Size()
+	if per == 0 {
+		per = 1
+	}
+	send := c.Malloc(per * c.Size())
+	recv := c.Malloc(per * c.Size())
+	defer c.Free(send)
+	defer c.Free(recv)
+	elapsed := timeRegion(c, func() {
+		for i := 0; i < iters; i++ {
+			c.Alltoall(send, per, recv)
+		}
+	})
+	return Result{Benchmark: "Alltoall", Size: size, Iterations: iters,
+		AvgTime: elapsed / sim.Duration(iters)}
+}
+
+// Gather collects size/nranks bytes to a rotating root (IMB Gather).
+func Gather(c *mpi.Comm, size, iters int) Result {
+	per := size / c.Size()
+	if per == 0 {
+		per = 1
+	}
+	send := c.Malloc(per)
+	recv := c.Malloc(per * c.Size())
+	defer c.Free(send)
+	defer c.Free(recv)
+	elapsed := timeRegion(c, func() {
+		for i := 0; i < iters; i++ {
+			c.Gather(send, per, recv, i%c.Size())
+		}
+	})
+	return Result{Benchmark: "Gather", Size: size, Iterations: iters,
+		AvgTime: elapsed / sim.Duration(iters)}
+}
+
+// Scatter distributes size/nranks bytes from a rotating root (IMB Scatter).
+func Scatter(c *mpi.Comm, size, iters int) Result {
+	per := size / c.Size()
+	if per == 0 {
+		per = 1
+	}
+	send := c.Malloc(per * c.Size())
+	recv := c.Malloc(per)
+	defer c.Free(send)
+	defer c.Free(recv)
+	elapsed := timeRegion(c, func() {
+		for i := 0; i < iters; i++ {
+			c.Scatter(send, per, recv, i%c.Size())
+		}
+	})
+	return Result{Benchmark: "Scatter", Size: size, Iterations: iters,
+		AvgTime: elapsed / sim.Duration(iters)}
+}
+
+// Barrier measures barrier latency (IMB Barrier; size is ignored).
+func Barrier(c *mpi.Comm, _, iters int) Result {
+	elapsed := timeRegion(c, func() {
+		for i := 0; i < iters; i++ {
+			c.Barrier()
+		}
+	})
+	return Result{Benchmark: "Barrier", Size: 0, Iterations: iters,
+		AvgTime: elapsed / sim.Duration(iters)}
+}
+
+// AllKernels returns every implemented IMB benchmark (the Table 2 set plus
+// the extras), for exhaustive sweeps.
+func AllKernels() []Kernel {
+	extra := []Kernel{
+		{"PingPing", PingPing},
+		{"Alltoall", Alltoall},
+		{"Gather", Gather},
+		{"Scatter", Scatter},
+		{"Barrier", Barrier},
+	}
+	return append(Table2Kernels(), extra...)
+}

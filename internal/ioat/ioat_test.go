@@ -1,0 +1,91 @@
+package ioat
+
+import (
+	"testing"
+
+	"omxsim/internal/sim"
+)
+
+func TestCopyCompletesAtBandwidth(t *testing.T) {
+	e := sim.NewEngine(1)
+	d := New(e, 1.6e9)
+	var done sim.Time
+	d.SubmitCopy(16000, nil, func() { done = e.Now() })
+	e.Run()
+	// 16000 / 1.6e9 s = 10us
+	if done != 10_000 {
+		t.Fatalf("copy done at %v, want 10us", done)
+	}
+	if d.Copies() != 1 || d.BytesCopied() != 16000 {
+		t.Fatal("counters wrong")
+	}
+}
+
+func TestCopiesSerializeFIFO(t *testing.T) {
+	e := sim.NewEngine(1)
+	d := New(e, 1e9)
+	var order []int
+	var times []sim.Time
+	d.SubmitCopy(1000, nil, func() { order = append(order, 1); times = append(times, e.Now()) })
+	d.SubmitCopy(1000, nil, func() { order = append(order, 2); times = append(times, e.Now()) })
+	e.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+	if times[0] != 1000 || times[1] != 2000 {
+		t.Fatalf("times = %v, want [1us 2us]", times)
+	}
+	if d.BusyTime() != 2000 {
+		t.Fatalf("BusyTime = %v", d.BusyTime())
+	}
+}
+
+func TestMoveRunsBeforeDone(t *testing.T) {
+	e := sim.NewEngine(1)
+	d := New(e, 0) // default bandwidth
+	moved := false
+	d.SubmitCopy(100, func() { moved = true }, func() {
+		if !moved {
+			t.Error("done ran before move")
+		}
+	})
+	e.Run()
+	if !moved {
+		t.Fatal("move never ran")
+	}
+}
+
+func TestLaterSubmitAfterIdleStartsAtNow(t *testing.T) {
+	e := sim.NewEngine(1)
+	d := New(e, 1e9)
+	var done sim.Time
+	e.After(5000, func() {
+		d.SubmitCopy(1000, nil, func() { done = e.Now() })
+	})
+	e.Run()
+	if done != 6000 {
+		t.Fatalf("done at %v, want 6us (starts when submitted, not at old busyUntil)", done)
+	}
+}
+
+func TestZeroSizeCopy(t *testing.T) {
+	e := sim.NewEngine(1)
+	d := New(e, 1e9)
+	ran := false
+	d.SubmitCopy(0, nil, func() { ran = true })
+	e.Run()
+	if !ran {
+		t.Fatal("zero-size copy never completed")
+	}
+}
+
+func TestNegativeSizePanics(t *testing.T) {
+	e := sim.NewEngine(1)
+	d := New(e, 1e9)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative size did not panic")
+		}
+	}()
+	d.SubmitCopy(-1, nil, nil)
+}

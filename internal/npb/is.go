@@ -1,0 +1,217 @@
+// Package npb implements the NAS Parallel Benchmarks IS kernel (integer
+// bucket sort) on the simulated MPI layer. IS is the large-message-intensive
+// NPB code: each iteration redistributes every key with an all-to-all
+// exchange, which is why the paper's Table 2 shows it benefiting from both
+// the pinning cache (4.2 %) and overlapped pinning (1.9 %).
+//
+// The sort is performed for real (keys generated, exchanged through
+// simulated memory, counted, verified); the CPU cost of the local passes is
+// charged as simulated compute time proportional to the work done.
+package npb
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"omxsim/internal/mpi"
+	"omxsim/internal/sim"
+)
+
+// Class describes an IS problem size. The canonical NPB classes scale the
+// key count; the simulated default is a scaled-down "C-shaped" class that
+// keeps per-message sizes in the multi-hundred-KiB range the paper's
+// statement ("large-message intensive") depends on, while staying fast to
+// simulate.
+type Class struct {
+	Name       string
+	TotalKeys  int
+	MaxKey     int32
+	Iterations int
+}
+
+// Classes, following the NPB scaling rule (keys x16, max key x16 between
+// letters) at simulation-friendly sizes.
+var (
+	ClassS = Class{Name: "S", TotalKeys: 1 << 16, MaxKey: 1 << 11, Iterations: 10}
+	ClassW = Class{Name: "W", TotalKeys: 1 << 18, MaxKey: 1 << 13, Iterations: 10}
+	ClassA = Class{Name: "A", TotalKeys: 1 << 20, MaxKey: 1 << 15, Iterations: 10}
+	// ClassCSim stands in for class C: the real C (2^27 keys) would take
+	// hours of wall-clock memcpy without changing the communication shape;
+	// this keeps ~1 MiB per-rank exchanges on 4 ranks, squarely in the
+	// rendezvous regime.
+	ClassCSim = Class{Name: "C-sim", TotalKeys: 1 << 22, MaxKey: 1 << 17, Iterations: 10}
+)
+
+// keyGenCost and countCost model the per-key CPU cost of the generation and
+// counting/ranking passes (~a few ns per key on the paper-era hosts).
+const (
+	keyGenCost = 3 * sim.Nanosecond
+	countCost  = 2 * sim.Nanosecond
+)
+
+// Result summarizes one IS run.
+type Result struct {
+	Class    Class
+	Ranks    int
+	Verified bool
+	// Elapsed is the timed region (all iterations, NPB convention: the
+	// initial untimed iteration is excluded).
+	Elapsed sim.Duration
+	// MopsTotal is millions of keys ranked per second of simulated time.
+	MopsTotal float64
+}
+
+func (r Result) String() string {
+	status := "VERIFICATION FAILED"
+	if r.Verified {
+		status = "VERIFICATION SUCCESSFUL"
+	}
+	return fmt.Sprintf("NPB IS class %s on %d ranks: %v, %.2f Mop/s  [%s]",
+		r.Class.Name, r.Ranks, r.Elapsed, r.MopsTotal, status)
+}
+
+// lcg is the deterministic key generator (a 64-bit LCG, seeded per rank).
+type lcg struct{ state uint64 }
+
+func (g *lcg) next() uint64 {
+	g.state = g.state*6364136223846793005 + 1442695040888963407
+	return g.state
+}
+
+// Run executes IS on the communicator. All ranks must call it. The result
+// is returned on every rank (rank 0's copy is authoritative for reporting).
+func Run(c *mpi.Comm, class Class) Result {
+	p := c.Size()
+	nLocal := class.TotalKeys / p
+	res := Result{Class: class, Ranks: p}
+
+	// Key generation (charged, and performed for real).
+	gen := lcg{state: uint64(c.Rank())*0x9e3779b97f4a7c15 + 12345}
+	keys := make([]int32, nLocal)
+	for i := range keys {
+		keys[i] = int32(gen.next() % uint64(class.MaxKey))
+	}
+	c.Compute(keyGenCost * sim.Duration(nLocal))
+
+	// Exchange buffers, allocated once and reused every iteration — the
+	// buffer-reuse pattern the pinning cache exploits.
+	bufBytes := nLocal * 4 * 2 // headroom: buckets are uneven
+	sendBuf := c.Malloc(bufBytes)
+	recvBuf := c.Malloc(bufBytes)
+	defer c.Free(sendBuf)
+	defer c.Free(recvBuf)
+
+	// Key range owned by each rank.
+	span := (int(class.MaxKey) + p - 1) / p
+	owner := func(k int32) int { return int(k) / span }
+
+	var myKeys []int32
+	iteration := func() {
+		// 1. Count keys per destination bucket (charged).
+		counts := make([]int, p)
+		for _, k := range keys {
+			counts[owner(k)]++
+		}
+		c.Compute(countCost * sim.Duration(len(keys)))
+
+		// 2. Pack keys by bucket into the send buffer.
+		offs := make([]int, p+1)
+		for i := 0; i < p; i++ {
+			offs[i+1] = offs[i] + counts[i]
+		}
+		packed := make([]byte, len(keys)*4)
+		cursor := append([]int(nil), offs[:p]...)
+		for _, k := range keys {
+			d := owner(k)
+			binary.LittleEndian.PutUint32(packed[cursor[d]*4:], uint32(k))
+			cursor[d]++
+		}
+		c.WriteBytes(sendBuf, packed)
+		c.Compute(countCost * sim.Duration(len(keys)))
+
+		// 3. Exchange bucket sizes (small, eager), then the keys (large).
+		sendCounts := make([]int, p)
+		for i := range sendCounts {
+			sendCounts[i] = counts[i] * 4
+		}
+		countsBuf := c.Malloc(4 * p)
+		countsIn := c.Malloc(4 * p)
+		cb := make([]byte, 4*p)
+		for i, n := range sendCounts {
+			binary.LittleEndian.PutUint32(cb[i*4:], uint32(n))
+		}
+		c.WriteBytes(countsBuf, cb)
+		ones := make([]int, p)
+		for i := range ones {
+			ones[i] = 4
+		}
+		c.Alltoallv(countsBuf, ones, countsIn, ones)
+		rb := c.ReadBytes(countsIn, 4*p)
+		recvCounts := make([]int, p)
+		totalIn := 0
+		for i := 0; i < p; i++ {
+			recvCounts[i] = int(binary.LittleEndian.Uint32(rb[i*4:]))
+			totalIn += recvCounts[i]
+		}
+		c.Free(countsBuf)
+		c.Free(countsIn)
+
+		c.Alltoallv(sendBuf, sendCounts, recvBuf, recvCounts)
+
+		// 4. Unpack and rank the received keys (counting sort, charged).
+		in := c.ReadBytes(recvBuf, totalIn)
+		myKeys = myKeys[:0]
+		for i := 0; i+4 <= totalIn; i += 4 {
+			myKeys = append(myKeys, int32(binary.LittleEndian.Uint32(in[i:])))
+		}
+		lo := int32(c.Rank() * span)
+		hist := make([]int, span)
+		for _, k := range myKeys {
+			hist[k-lo]++
+		}
+		c.Compute(countCost * 2 * sim.Duration(len(myKeys)))
+	}
+
+	// Untimed warm-up iteration (NPB convention), then the timed run.
+	iteration()
+	c.Barrier()
+	t0 := c.Now()
+	for it := 0; it < class.Iterations; it++ {
+		iteration()
+	}
+	c.Barrier()
+	res.Elapsed = c.Now() - t0
+
+	// Full verification: every received key lies in this rank's range, and
+	// global key conservation holds (Allreduce of counts).
+	lo := int32(c.Rank() * span)
+	hi := lo + int32(span)
+	ok := true
+	for _, k := range myKeys {
+		if k < lo || k >= hi {
+			ok = false
+			break
+		}
+	}
+	vbuf := c.Malloc(16)
+	vb := make([]byte, 16)
+	count := int32(len(myKeys))
+	flag := int32(0)
+	if ok {
+		flag = 1
+	}
+	binary.LittleEndian.PutUint32(vb[0:], uint32(count))
+	binary.LittleEndian.PutUint32(vb[4:], uint32(flag))
+	c.WriteBytes(vbuf, vb)
+	c.Allreduce(vbuf, 8, mpi.SumInt32)
+	out := c.ReadBytes(vbuf, 8)
+	totalKeys := int32(binary.LittleEndian.Uint32(out[0:]))
+	flags := int32(binary.LittleEndian.Uint32(out[4:]))
+	c.Free(vbuf)
+	res.Verified = totalKeys == int32(class.TotalKeys) && flags == int32(p)
+	if res.Elapsed > 0 {
+		res.MopsTotal = float64(class.TotalKeys) * float64(class.Iterations) /
+			res.Elapsed.Seconds() / 1e6
+	}
+	return res
+}

@@ -1,0 +1,143 @@
+package omx
+
+import (
+	"omxsim/internal/core"
+	"omxsim/internal/sim"
+)
+
+// Config selects the pinning model and protocol parameters of an endpoint.
+// The four throughput curves of the paper's Figures 6 and 7 are spanned by
+// (Policy, CacheEnabled):
+//
+//	Figure 6 "Pin once per Communication": PinEachComm, cache off
+//	Figure 6 "Permanent Pinning":          Permanent,   cache on
+//	Figure 7 "Regular Pinning":            PinEachComm, cache off
+//	Figure 7 "Overlapped Pinning":         Overlapped,  cache off
+//	Figure 7 "Pinning Cache":              OnDemand,    cache on
+//	Figure 7 "Overlapped Pinning Cache":   Overlapped,  cache on
+type Config struct {
+	// Policy is the driver-side pinning policy.
+	Policy core.PinPolicy
+	// CacheEnabled turns on the user-space region cache (paper §3.2).
+	CacheEnabled bool
+	// CacheCapacity bounds cached declarations (0 = 64).
+	CacheCapacity int
+	// UseIOAT offloads receive copies of large-message data to the node's
+	// I/OAT DMA engine (paper §2.2).
+	UseIOAT bool
+	// EagerThreshold is the largest message sent eagerly; bigger ones use
+	// rendezvous. The MXoE spec fixes 32 KiB (paper §2.2).
+	EagerThreshold int
+	// PullBlockSize is the granularity of receiver pull requests.
+	PullBlockSize int
+	// PullWindow is how many pull blocks may be outstanding.
+	PullWindow int
+	// ReRequestDelay is the pull-block requeue timeout: a requested block
+	// with missing fragments and no arrivals at all for this long is
+	// re-requested. It sits between service jitter (hundreds of µs under
+	// load) and the coarse RetransmitTimeout.
+	ReRequestDelay sim.Duration
+	// GapReReqDelay rate-limits the gap-driven optimistic re-request — the
+	// "requested again optimistically, instead of waiting for the
+	// retransmission timeout (1s)" of paper footnote 4: when fragments with
+	// higher offsets arrive while an older block still has holes, the hole
+	// is re-requested at most this often.
+	GapReReqDelay sim.Duration
+	// CrossGapDelay is the evidence threshold for cross-message re-request:
+	// a stalled pull is re-requested when other traffic from the same node
+	// flows but this message saw nothing for this long. It must exceed the
+	// receive-copy backlog jitter (several hundred µs at full window) or it
+	// false-fires and snowballs duplicate traffic.
+	CrossGapDelay sim.Duration
+	// RetransmitTimeout is the coarse fallback for lost control messages
+	// (rndv, eager, notify). The paper quotes 1 s; experiments here default
+	// lower to keep simulated runs short while preserving the two-level
+	// (fast optimistic / slow fallback) structure.
+	RetransmitTimeout sim.Duration
+	// PinnedPageLimit caps driver-pinned pages per endpoint (0 = unlimited).
+	PinnedPageLimit int
+	// PinChunkPages is the pin work granularity on the core (0 = driver
+	// default of 32 pages). Bottom halves interleave between chunks.
+	PinChunkPages int
+	// AdaptiveOverlap enables the per-request policy selection the paper's
+	// §5 proposes: "blocking operations benefit more from overlapped
+	// pinning while overlap-aware applications may prefer a simple model
+	// with lower overhead". With it set (and Policy == Overlapped),
+	// blocking requests overlap their pinning with the transfer while
+	// non-blocking requests pin synchronously before initiating.
+	AdaptiveOverlap bool
+	// SyncPrefixPages delays the initiating message (rendezvous on the
+	// sender, the first pull requests on the receiver) until this many
+	// pages of the region are pinned, under the Overlapped policy — the
+	// mitigation the paper evaluates in §4.3 ("pinning a few pages
+	// synchronously anyway before sending the initiating message to reduce
+	// the chance of getting some overlap-misses"). One pull block (8 pages)
+	// suffices: because pin work executes in submission order, the prefix
+	// wait also serializes a message's rendezvous behind earlier pins, so
+	// pull requests never race a pin that has not effectively started.
+	// Set negative to disable (pure drop model).
+	SyncPrefixPages int
+	// SyscallCost is the user/kernel crossing charged per Isend/Irecv.
+	SyscallCost sim.Duration
+	// BHFragCost is the bottom-half protocol cost per received frame,
+	// excluding data copies.
+	BHFragCost sim.Duration
+}
+
+// DefaultConfig returns the standard Open-MX configuration with the given
+// pinning policy and cache setting.
+func DefaultConfig(policy core.PinPolicy, cacheEnabled bool) Config {
+	return Config{
+		Policy:            policy,
+		CacheEnabled:      cacheEnabled,
+		EagerThreshold:    32 * 1024,
+		PullBlockSize:     32 * 1024,
+		PullWindow:        8,
+		ReRequestDelay:    2 * sim.Millisecond,
+		GapReReqDelay:     100 * sim.Microsecond,
+		CrossGapDelay:     sim.Millisecond,
+		RetransmitTimeout: 20 * sim.Millisecond,
+		SyncPrefixPages:   8, // one pull block (32 KiB)
+		SyscallCost:       300 * sim.Nanosecond,
+		BHFragCost:        250 * sim.Nanosecond,
+	}
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig(c.Policy, c.CacheEnabled)
+	if c.EagerThreshold == 0 {
+		c.EagerThreshold = d.EagerThreshold
+	}
+	if c.PullBlockSize == 0 {
+		c.PullBlockSize = d.PullBlockSize
+	}
+	if c.PullWindow == 0 {
+		c.PullWindow = d.PullWindow
+	}
+	if c.ReRequestDelay == 0 {
+		c.ReRequestDelay = d.ReRequestDelay
+	}
+	if c.GapReReqDelay == 0 {
+		c.GapReReqDelay = d.GapReReqDelay
+	}
+	if c.CrossGapDelay == 0 {
+		c.CrossGapDelay = d.CrossGapDelay
+	}
+	if c.RetransmitTimeout == 0 {
+		c.RetransmitTimeout = d.RetransmitTimeout
+	}
+	if c.SyncPrefixPages == 0 {
+		c.SyncPrefixPages = d.SyncPrefixPages
+	}
+	if c.SyncPrefixPages < 0 {
+		c.SyncPrefixPages = 0
+	}
+	if c.SyscallCost == 0 {
+		c.SyscallCost = d.SyscallCost
+	}
+	if c.BHFragCost == 0 {
+		c.BHFragCost = d.BHFragCost
+	}
+	return c
+}

@@ -1,0 +1,516 @@
+package omx
+
+import (
+	"errors"
+	"fmt"
+
+	"omxsim/internal/core"
+	"omxsim/internal/cpu"
+	"omxsim/internal/sim"
+	"omxsim/internal/trace"
+	"omxsim/internal/vm"
+)
+
+// Errors surfaced on requests.
+var (
+	ErrTruncated  = errors.New("omx: message longer than posted receive")
+	ErrAborted    = errors.New("omx: request aborted")
+	ErrPinAborted = errors.New("omx: pinning failed, request aborted")
+)
+
+// ReqKind distinguishes send and receive requests.
+type ReqKind int
+
+// Request kinds.
+const (
+	KindSend ReqKind = iota
+	KindRecv
+)
+
+// Request is an outstanding Isend/Irecv, completed asynchronously by the
+// protocol engine.
+type Request struct {
+	Kind ReqKind
+	// Results, valid after completion.
+	Err       error
+	RecvLen   int
+	RecvMatch uint64
+	RecvSrc   EndpointAddr
+
+	ep        *Endpoint
+	done      sim.Completion
+	match     uint64
+	mask      uint64
+	postedLen int
+	segs      []Segment
+	region    *core.Region
+	acquired  bool
+	cancelled bool
+	// overlap records whether this request uses overlapped pinning (per
+	// request under AdaptiveOverlap, otherwise fixed by the policy).
+	overlap bool
+}
+
+// Done reports whether the request has completed.
+func (r *Request) Done() bool { return r.done.Done() }
+
+// rstate tracks one incoming message from first frame to final cleanup.
+type rstate struct {
+	key      msgKey
+	match    uint64
+	total    int
+	admitted bool
+	matched  *Request // nil until matched
+	isLarge  bool
+
+	// Eager reassembly (kernel intermediate buffer).
+	buf      []byte
+	gotFrag  map[int]bool // by byte offset
+	received int
+	nfrags   int
+	fragsGot int // distinct fragments seen (counts, not bytes, so
+	// zero-length messages complete)
+
+	// Large-message pull engine.
+	blocks       []blockState
+	nextBlockOff int // blocks issued so far
+	outstanding  int // blocks issued but not fully committed
+	lowestHole   int // first block not fully *arrived* (gap detection)
+	lastProgress sim.Time
+	reqTimer     *sim.Event
+	missRetry    *sim.Event // local fast retry after receiver-side overlap misses
+	notifyTimer  *sim.Event
+	notifyTries  int
+	completed    bool
+}
+
+type blockState struct {
+	off, length int
+	received    int      // bytes committed (copied into the region)
+	accepted    int      // bytes arrived and accepted (pre-copy)
+	done        bool     // fully committed
+	lastReq     sim.Time // last (re-)request time, for rate limiting
+}
+
+// sendState tracks one outgoing message until fully acknowledged.
+type sendState struct {
+	dst      EndpointAddr
+	seq      uint64
+	total    int
+	req      *Request
+	data     []byte // eager payload kept for retransmission
+	isLarge  bool
+	rtxTimer *sim.Event
+	tries    int
+	acked    bool // rndv implicitly acked by first pull request
+}
+
+type sendKey struct {
+	dst EndpointAddr
+	seq uint64
+}
+
+// Endpoint is an open Open-MX endpoint: the user-space library state (region
+// cache, matching queues) plus its driver-side state (region manager,
+// per-message protocol state). One endpoint models one application process.
+type Endpoint struct {
+	node *Node
+	addr EndpointAddr
+	cfg  Config
+
+	// Application-process resources.
+	core  *cpu.Core
+	AS    *vm.AddressSpace
+	Alloc *vm.Allocator
+	mgr   *core.Manager
+	cache *core.Cache
+
+	sendSeq  map[EndpointAddr]uint64
+	sends    map[sendKey]*sendState
+	recvNext map[EndpointAddr]uint64
+	rstates  map[msgKey]*rstate
+
+	// Trace, when non-nil via SetTrace, records protocol + pinning events.
+	Trace *trace.Recorder
+
+	posted     []*Request
+	unexpected []*rstate
+	// activePulls tracks in-progress large receives for cross-message
+	// optimistic re-request (Open-MX sequence numbers are per endpoint
+	// pair, so any arriving packet is gap evidence for every stalled pull
+	// from the same node).
+	activePulls map[*rstate]struct{}
+
+	closed bool
+}
+
+// maxRetries bounds control-message retransmissions before a request
+// aborts.
+const maxRetries = 30
+
+// OpenEndpoint opens endpoint epID on the node, binding the application
+// process to core appCoreIdx. Each endpoint gets its own address space,
+// allocator, region manager (with MMU notifier attached, paper §3.1) and
+// region cache.
+func (n *Node) OpenEndpoint(epID, appCoreIdx int, cfg Config) (*Endpoint, error) {
+	if _, dup := n.endpoints[epID]; dup {
+		return nil, fmt.Errorf("omx: endpoint %d already open on node %d", epID, n.ID)
+	}
+	cfg = cfg.withDefaults()
+	as := vm.NewAddressSpace(epID, n.Phys)
+	alloc, err := vm.NewAllocator(as, 0, 64<<20)
+	if err != nil {
+		return nil, err
+	}
+	appCore := n.Machine.Core(appCoreIdx)
+	mgr := core.NewManager(n.Eng, as, appCore, core.ManagerConfig{
+		Policy:          cfg.Policy,
+		PinnedPageLimit: cfg.PinnedPageLimit,
+		PinChunkPages:   cfg.PinChunkPages,
+	})
+	var ep *Endpoint
+	mgr.OnInvalidateInUse = func(r *core.Region) {
+		if ep != nil {
+			ep.abortRegionUsers(r)
+		}
+	}
+	ep = &Endpoint{
+		node:        n,
+		addr:        EndpointAddr{Node: n.ID, EP: epID},
+		cfg:         cfg,
+		core:        appCore,
+		AS:          as,
+		Alloc:       alloc,
+		mgr:         mgr,
+		cache:       core.NewCache(n.Eng, mgr, appCore, cfg.CacheCapacity, cfg.CacheEnabled),
+		sendSeq:     make(map[EndpointAddr]uint64),
+		sends:       make(map[sendKey]*sendState),
+		recvNext:    make(map[EndpointAddr]uint64),
+		rstates:     make(map[msgKey]*rstate),
+		activePulls: make(map[*rstate]struct{}),
+	}
+	n.endpoints[epID] = ep
+	return ep, nil
+}
+
+// Close shuts the endpoint down: every in-flight message's timers are
+// cancelled (a closed endpoint must not keep talking), the MMU notifier is
+// detached, and all pins are dropped. Outstanding local requests never
+// complete — their process is gone; remote peers abort via their own
+// liveness timeouts.
+func (ep *Endpoint) Close() {
+	ep.closed = true
+	for _, rs := range ep.rstates {
+		rs.completed = true
+		for _, tm := range []*sim.Event{rs.reqTimer, rs.missRetry, rs.notifyTimer} {
+			if tm != nil {
+				tm.Cancel()
+			}
+		}
+	}
+	ep.rstates = make(map[msgKey]*rstate)
+	ep.activePulls = make(map[*rstate]struct{})
+	for _, ss := range ep.sends {
+		if ss.rtxTimer != nil {
+			ss.rtxTimer.Cancel()
+		}
+	}
+	ep.sends = make(map[sendKey]*sendState)
+	ep.mgr.Close()
+	delete(ep.node.endpoints, ep.addr.EP)
+}
+
+// SetTrace attaches a trace recorder to the endpoint and its driver-side
+// region manager.
+func (ep *Endpoint) SetTrace(rec *trace.Recorder) {
+	ep.Trace = rec
+	ep.mgr.Trace = rec
+	ep.mgr.TraceNode = ep.node.ID
+}
+
+// emit records a protocol trace event when a recorder is attached.
+func (ep *Endpoint) emit(k trace.Kind, seq uint64, a, b int) {
+	if ep.Trace == nil {
+		return
+	}
+	ep.Trace.Emit(trace.Event{T: ep.node.Eng.Now(), Kind: k, Node: ep.node.ID, Seq: seq, A: a, B: b})
+}
+
+// Addr returns the endpoint's fabric address.
+func (ep *Endpoint) Addr() EndpointAddr { return ep.addr }
+
+// Node returns the owning node.
+func (ep *Endpoint) Node() *Node { return ep.node }
+
+// Core returns the application core the endpoint is bound to.
+func (ep *Endpoint) Core() *cpu.Core { return ep.core }
+
+// Manager exposes the driver-side region manager (for stats and tests).
+func (ep *Endpoint) Manager() *core.Manager { return ep.mgr }
+
+// Cache exposes the user-space region cache (for stats and tests).
+func (ep *Endpoint) Cache() *core.Cache { return ep.cache }
+
+// Config returns the endpoint configuration.
+func (ep *Endpoint) Config() Config { return ep.cfg }
+
+// Compute blocks the process for d of application CPU time on the
+// endpoint's core (used by workloads to model computation).
+func (ep *Endpoint) Compute(p *sim.Proc, d sim.Duration) {
+	ep.core.Exec(p, cpu.User, d)
+}
+
+// Malloc allocates an application buffer.
+func (ep *Endpoint) Malloc(size int) (vm.Addr, error) { return ep.Alloc.Malloc(size) }
+
+// Free frees an application buffer (possibly firing MMU notifiers).
+func (ep *Endpoint) Free(addr vm.Addr) error { return ep.Alloc.Free(addr) }
+
+// Isend starts a send of [addr, addr+length) with the given match
+// information. It may be called from process context; the returned request
+// completes asynchronously.
+func (ep *Endpoint) Isend(addr vm.Addr, length int, match uint64, dst EndpointAddr) *Request {
+	return ep.IsendV([]Segment{{Addr: addr, Len: length}}, match, dst)
+}
+
+// IsendV is the vectorial form of Isend. It assumes a blocking caller; use
+// IsendVHint to mark overlap-aware (non-blocking) requests under
+// AdaptiveOverlap.
+func (ep *Endpoint) IsendV(segs []Segment, match uint64, dst EndpointAddr) *Request {
+	return ep.IsendVHint(segs, match, dst, true)
+}
+
+// IsendVHint is IsendV with an explicit blocking hint (paper §5: blocking
+// operations benefit most from overlapped pinning).
+func (ep *Endpoint) IsendVHint(segs []Segment, match uint64, dst EndpointAddr, blocking bool) *Request {
+	req := &Request{Kind: KindSend, ep: ep, segs: segs, overlap: ep.useOverlap(blocking)}
+	total := 0
+	for _, s := range segs {
+		total += s.Len
+	}
+	seq := ep.sendSeq[dst] + 1
+	ep.sendSeq[dst] = seq
+	ss := &sendState{dst: dst, seq: seq, total: total, req: req}
+	ep.sends[sendKey{dst, seq}] = ss
+	// The syscall enters the kernel, then the send path runs.
+	ep.core.Submit(cpu.Kernel, ep.cfg.SyscallCost, func() {
+		if total <= ep.cfg.EagerThreshold {
+			ep.startEager(ss, match)
+		} else {
+			ss.isLarge = true
+			ep.startRendezvous(ss, match)
+		}
+	})
+	return req
+}
+
+// Irecv posts a receive of up to length bytes at addr for messages whose
+// match info equals match under mask.
+func (ep *Endpoint) Irecv(addr vm.Addr, length int, match, mask uint64) *Request {
+	return ep.IrecvV([]Segment{{Addr: addr, Len: length}}, match, mask)
+}
+
+// IrecvV is the vectorial form of Irecv. For receives large enough to need
+// the rendezvous path, the user region is declared (via the cache) now, at
+// post time — pinning happens later, per policy, when a message matches.
+// It assumes a blocking caller; use IrecvVHint otherwise.
+func (ep *Endpoint) IrecvV(segs []Segment, match, mask uint64) *Request {
+	return ep.IrecvVHint(segs, match, mask, true)
+}
+
+// IrecvVHint is IrecvV with an explicit blocking hint.
+func (ep *Endpoint) IrecvVHint(segs []Segment, match, mask uint64, blocking bool) *Request {
+	total := 0
+	for _, s := range segs {
+		total += s.Len
+	}
+	req := &Request{Kind: KindRecv, ep: ep, match: match, mask: mask, postedLen: total,
+		segs: segs, overlap: ep.useOverlap(blocking)}
+	ep.core.Submit(cpu.Kernel, ep.cfg.SyscallCost, func() {
+		if total > ep.cfg.EagerThreshold {
+			ep.cache.GetAsync(segs, func(r *core.Region, err error) {
+				if err != nil {
+					ep.complete(req, fmt.Errorf("omx: declare: %w", err))
+					return
+				}
+				req.region = r
+				ep.postRecv(req)
+			})
+			return
+		}
+		ep.postRecv(req)
+	})
+	return req
+}
+
+// useOverlap decides whether a request overlaps its pinning: always under
+// plain Overlapped, only for blocking requests under AdaptiveOverlap.
+func (ep *Endpoint) useOverlap(blocking bool) bool {
+	if ep.cfg.Policy != core.Overlapped {
+		return false
+	}
+	if ep.cfg.AdaptiveOverlap {
+		return blocking
+	}
+	return true
+}
+
+// postRecv runs the MX matching rule: first try the unexpected queue in
+// arrival order, else append to the posted queue.
+func (ep *Endpoint) postRecv(req *Request) {
+	for i, rs := range ep.unexpected {
+		if matches(req.match, req.mask, rs.match) {
+			ep.unexpected = append(ep.unexpected[:i], ep.unexpected[i+1:]...)
+			ep.bind(rs, req)
+			return
+		}
+	}
+	ep.posted = append(ep.posted, req)
+}
+
+// Wait blocks the process until the request completes, returning its error.
+func (ep *Endpoint) Wait(p *sim.Proc, r *Request) error {
+	r.done.Wait(p)
+	return r.Err
+}
+
+// WaitAll waits for every request and returns the first error.
+func (ep *Endpoint) WaitAll(p *sim.Proc, rs ...*Request) error {
+	var first error
+	for _, r := range rs {
+		if err := ep.Wait(p, r); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// complete finishes a request exactly once.
+func (ep *Endpoint) complete(req *Request, err error) {
+	if req.done.Done() {
+		return
+	}
+	req.Err = err
+	if req.acquired {
+		ep.mgr.Release(req.region)
+		req.acquired = false
+	}
+	if req.region != nil {
+		ep.cache.Put(req.region)
+		req.region = nil
+	}
+	req.done.Complete(ep.node.Eng, nil)
+}
+
+// dispatchBH schedules bottom-half processing for one received frame on the
+// node's RX core.
+func (ep *Endpoint) dispatchBH(payload any) {
+	rx := ep.node.rxCore
+	cost := ep.cfg.BHFragCost
+	switch m := payload.(type) {
+	case *eagerFrag:
+		// The copy into the kernel intermediate buffer happens in the
+		// bottom half and is unconditional (no pinning on the eager path).
+		cost += ep.core.Spec().CopyCost(len(m.data))
+		rx.Submit(cpu.BottomHalf, cost, func() { ep.handleEagerFrag(m) })
+	case *eagerAck:
+		rx.Submit(cpu.BottomHalf, cost, func() { ep.handleEagerAck(m) })
+	case *rndvMsg:
+		rx.Submit(cpu.BottomHalf, cost, func() { ep.handleRndv(m) })
+	case *pullReq:
+		rx.Submit(cpu.BottomHalf, cost, func() { ep.handlePullReq(m) })
+	case *pullReply:
+		rx.Submit(cpu.BottomHalf, cost, func() { ep.handlePullReply(m) })
+	case *notifyMsg:
+		rx.Submit(cpu.BottomHalf, cost, func() { ep.handleNotify(m) })
+	case *notifyAck:
+		rx.Submit(cpu.BottomHalf, cost, func() { ep.handleNotifyAck(m) })
+	case *abortMsg:
+		rx.Submit(cpu.BottomHalf, cost, func() { ep.handleAbort(m) })
+	}
+}
+
+// handleAbort terminates an in-progress receive whose sender gave up.
+func (ep *Endpoint) handleAbort(m *abortMsg) {
+	rs, ok := ep.rstates[msgKey{m.src, m.seq}]
+	if !ok || rs.completed {
+		return
+	}
+	if rs.matched != nil {
+		ep.finishPull(rs, fmt.Errorf("%w: sender aborted", ErrAborted))
+		return
+	}
+	// Unmatched (unexpected queue): drop the envelope so no future receive
+	// matches a dead message.
+	for i, u := range ep.unexpected {
+		if u == rs {
+			ep.unexpected = append(ep.unexpected[:i], ep.unexpected[i+1:]...)
+			break
+		}
+	}
+	delete(ep.rstates, rs.key)
+}
+
+// abortRegionUsers aborts every request still using a region whose pins
+// were ripped out by an MMU-notifier invalidation (application freed the
+// buffer mid-communication).
+func (ep *Endpoint) abortRegionUsers(r *core.Region) {
+	for k, ss := range ep.sends {
+		if ss.req.region == r && !ss.req.done.Done() {
+			ep.node.send(ss.dst.Node, 0, &abortMsg{src: ep.addr, dst: ss.dst, seq: ss.seq})
+			_ = k
+			ep.abortSend(ss, fmt.Errorf("%w: buffer invalidated during send", ErrPinAborted))
+		}
+	}
+	for _, rs := range ep.rstates {
+		if rs.matched != nil && !rs.completed && rs.matched.region == r {
+			ep.finishPull(rs, fmt.Errorf("%w: buffer invalidated during receive", ErrPinAborted))
+		}
+	}
+}
+
+// admit advances per-source envelope admission in sequence order, so MPI
+// message ordering holds even when frames arrive out of order.
+func (ep *Endpoint) admit(src EndpointAddr) {
+	for {
+		next := ep.recvNext[src] + 1
+		rs, ok := ep.rstates[msgKey{src, next}]
+		if !ok || rs.admitted {
+			return
+		}
+		rs.admitted = true
+		ep.recvNext[src] = next
+		ep.matchOrQueue(rs)
+	}
+}
+
+// matchOrQueue matches a newly admitted envelope against posted receives in
+// post order, or queues it as unexpected.
+func (ep *Endpoint) matchOrQueue(rs *rstate) {
+	for i, req := range ep.posted {
+		if matches(req.match, req.mask, rs.match) {
+			ep.posted = append(ep.posted[:i], ep.posted[i+1:]...)
+			ep.bind(rs, req)
+			return
+		}
+	}
+	ep.unexpected = append(ep.unexpected, rs)
+}
+
+// bind attaches a matched request to a message and starts delivery.
+func (ep *Endpoint) bind(rs *rstate, req *Request) {
+	rs.matched = req
+	req.RecvMatch = rs.match
+	req.RecvSrc = rs.key.src
+	if rs.total > req.postedLen {
+		// Truncation: consume and discard the message, erroring the request.
+		req.RecvLen = req.postedLen
+	} else {
+		req.RecvLen = rs.total
+	}
+	if rs.isLarge {
+		ep.startPull(rs, req)
+		return
+	}
+	ep.maybeDeliverEager(rs)
+}

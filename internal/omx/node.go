@@ -1,0 +1,133 @@
+package omx
+
+import (
+	"fmt"
+
+	"omxsim/internal/cpu"
+	"omxsim/internal/ethernet"
+	"omxsim/internal/ioat"
+	"omxsim/internal/sim"
+	"omxsim/internal/vm"
+)
+
+// NodeStats aggregates driver-level counters, including the overlap-miss
+// counters the paper added for §4.3.
+type NodeStats struct {
+	FramesRx            uint64
+	FramesTx            uint64
+	EagerFragsRx        uint64
+	PullReqsRx          uint64
+	PullRepliesRx       uint64
+	OverlapMissSender   uint64 // pull request dropped: send region not pinned far enough
+	OverlapMissReceiver uint64 // pull reply dropped: recv region not pinned far enough
+	ReRequests          uint64 // pull re-requests issued (all causes)
+	OptimisticReReqs    uint64 // gap-driven re-requests (higher offsets seen)
+	Retransmits         uint64 // control-message timeouts (rndv/eager/notify)
+	DupFrags            uint64 // duplicate data fragments discarded
+}
+
+// Node is one host: cores, physical memory, a NIC, an I/OAT engine, and the
+// Open-MX driver demultiplexing received frames to endpoints.
+type Node struct {
+	ID      int
+	Eng     *sim.Engine
+	Machine *cpu.Machine
+	Phys    *vm.PhysMem
+	NIC     *ethernet.NIC
+	IOAT    *ioat.Engine
+
+	// rxCore runs interrupt bottom halves (all RX protocol processing).
+	rxCore    *cpu.Core
+	endpoints map[int]*Endpoint
+	stats     NodeStats
+
+	// IntrDelay is the latency between a frame landing in the NIC ring and
+	// its bottom half being runnable (IRQ signalling + NAPI scheduling).
+	// It is pure pipeline latency — it does not consume core time — and is
+	// the dominant term in Open-MX's 10-20us rendezvous round trip
+	// (paper §3.3 footnote 2).
+	IntrDelay sim.Duration
+}
+
+// DefaultIntrDelay places the simulated rendezvous round trip in the
+// paper's 10-20us window.
+const DefaultIntrDelay = 5 * sim.Microsecond
+
+// NewNode creates a host on the fabric. rxCoreIdx selects the core that
+// services NIC interrupts (the paper's §4.3 overload scenario binds the
+// application to this same core).
+func NewNode(eng *sim.Engine, fabric *ethernet.Fabric, spec cpu.Spec, id, rxCoreIdx int) *Node {
+	n := &Node{
+		ID:        id,
+		Eng:       eng,
+		Machine:   cpu.NewMachine(eng, spec),
+		Phys:      vm.NewPhysMem(0),
+		NIC:       fabric.AddNIC(id, 0),
+		IOAT:      ioat.New(eng, 0),
+		endpoints: make(map[int]*Endpoint),
+		IntrDelay: DefaultIntrDelay,
+	}
+	n.rxCore = n.Machine.Core(rxCoreIdx)
+	n.NIC.SetHandler(n.onFrame)
+	return n
+}
+
+// RxCore returns the core servicing NIC bottom halves.
+func (n *Node) RxCore() *cpu.Core { return n.rxCore }
+
+// Stats returns a snapshot of the node's driver counters.
+func (n *Node) Stats() NodeStats { return n.stats }
+
+// Endpoint returns the open endpoint with the given id, if any.
+func (n *Node) Endpoint(id int) (*Endpoint, bool) {
+	ep, ok := n.endpoints[id]
+	return ep, ok
+}
+
+// maxData is the data payload available per frame after the MXoE header.
+func (n *Node) maxData() int { return n.NIC.MTU() - headerBytes }
+
+// send transmits one protocol message, sizing the frame from its data.
+func (n *Node) send(dst int, dataLen int, payload any) {
+	n.stats.FramesTx++
+	n.NIC.Send(&ethernet.Frame{Dst: dst, Size: headerBytes + dataLen, Payload: payload})
+}
+
+// onFrame runs in interrupt context: it only schedules bottom-half work on
+// the RX core. All protocol processing happens in the BH at BottomHalf
+// priority — which is what starves same-core application pinning under
+// flood (paper §4.3).
+func (n *Node) onFrame(fr *ethernet.Frame) {
+	n.stats.FramesRx++
+	var epID int
+	switch p := fr.Payload.(type) {
+	case *eagerFrag:
+		epID = p.dst.EP
+	case *eagerAck:
+		epID = p.dst.EP
+	case *rndvMsg:
+		epID = p.dst.EP
+	case *pullReq:
+		epID = p.dst.EP
+	case *pullReply:
+		epID = p.dst.EP
+	case *notifyMsg:
+		epID = p.dst.EP
+	case *notifyAck:
+		epID = p.dst.EP
+	case *abortMsg:
+		epID = p.dst.EP
+	default:
+		panic(fmt.Sprintf("omx: unknown payload %T", fr.Payload))
+	}
+	ep, ok := n.endpoints[epID]
+	if !ok {
+		return // stale frame for a closed endpoint: dropped
+	}
+	payload := fr.Payload
+	if n.IntrDelay > 0 {
+		n.Eng.After(n.IntrDelay, func() { ep.dispatchBH(payload) })
+		return
+	}
+	ep.dispatchBH(payload)
+}

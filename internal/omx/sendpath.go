@@ -1,0 +1,261 @@
+package omx
+
+import (
+	"fmt"
+
+	"omxsim/internal/core"
+	"omxsim/internal/cpu"
+	"omxsim/internal/sim"
+	"omxsim/internal/trace"
+)
+
+// readUserBuf copies the send segments out of the application's virtual
+// memory (page-table walk in syscall context — the eager path never pins,
+// it copies through statically pinned intermediate buffers, paper §2.2).
+func (ep *Endpoint) readUserBuf(segs []Segment, total int) ([]byte, error) {
+	buf := make([]byte, total)
+	off := 0
+	for _, s := range segs {
+		if err := ep.AS.Read(s.Addr, buf[off:off+s.Len]); err != nil {
+			return nil, err
+		}
+		off += s.Len
+	}
+	return buf, nil
+}
+
+// startEager sends a small message as MTU-sized fragments carrying the data
+// inline. The copy into the intermediate buffer is charged on the sending
+// core at kernel priority.
+func (ep *Endpoint) startEager(ss *sendState, match uint64) {
+	data, err := ep.readUserBuf(ss.req.segs, ss.total)
+	if err != nil {
+		delete(ep.sends, sendKey{ss.dst, ss.seq})
+		ep.complete(ss.req, fmt.Errorf("omx: eager send: %w", err))
+		return
+	}
+	ss.data = data
+	copyCost := ep.core.Spec().CopyCost(ss.total)
+	ep.core.Submit(cpu.Kernel, copyCost, func() {
+		ep.sendEagerFrags(ss, match)
+		ep.armSendRetransmit(ss, func() { ep.sendEagerFrags(ss, match) })
+	})
+}
+
+// sendEagerFrags (re)transmits every fragment of an eager message.
+func (ep *Endpoint) sendEagerFrags(ss *sendState, match uint64) {
+	maxData := ep.node.maxData()
+	nfrags := (ss.total + maxData - 1) / maxData
+	if nfrags == 0 {
+		nfrags = 1 // zero-length messages still carry an envelope
+	}
+	for f := 0; f < nfrags; f++ {
+		off := f * maxData
+		end := off + maxData
+		if end > ss.total {
+			end = ss.total
+		}
+		ep.node.send(ss.dst.Node, end-off, &eagerFrag{
+			src: ep.addr, dst: ss.dst, seq: ss.seq, match: match,
+			total: ss.total, off: off, data: ss.data[off:end],
+			nfrags: nfrags, frag: f,
+		})
+	}
+}
+
+// startRendezvous begins a large-message send: declare (cache), pin per
+// policy, send the rendezvous envelope. Under synchronous policies the
+// rendezvous waits for the pin (Figure 2); under Overlapped it goes out
+// immediately and pinning proceeds behind the transfer (Figure 5).
+func (ep *Endpoint) startRendezvous(ss *sendState, match uint64) {
+	ep.cache.GetAsync(ss.req.segs, func(r *core.Region, err error) {
+		if err != nil {
+			delete(ep.sends, sendKey{ss.dst, ss.seq})
+			ep.complete(ss.req, fmt.Errorf("omx: declare: %w", err))
+			return
+		}
+		ss.req.region = r
+		acq := ep.mgr.Acquire(r)
+		ss.req.acquired = true
+		sendRndv := func() {
+			if ss.req.done.Done() {
+				return
+			}
+			ep.emit(trace.RndvSent, ss.seq, ss.total, 0)
+			ep.node.send(ss.dst.Node, 0, &rndvMsg{
+				src: ep.addr, dst: ss.dst, seq: ss.seq, match: match, total: ss.total,
+			})
+			ep.armSendRetransmit(ss, func() {
+				ep.node.send(ss.dst.Node, 0, &rndvMsg{
+					src: ep.addr, dst: ss.dst, seq: ss.seq, match: match, total: ss.total,
+				})
+			})
+		}
+		if !ss.req.overlap {
+			acq.OnDone(ep.node.Eng, func() {
+				if acq.Err() != nil {
+					ep.abortSend(ss, fmt.Errorf("%w: %v", ErrPinAborted, acq.Err()))
+					return
+				}
+				sendRndv()
+			})
+			return
+		}
+		// Overlapped: transfer first, pin behind it. A pin failure aborts
+		// the request; the receiver learns via an abort message.
+		acq.OnDone(ep.node.Eng, func() {
+			if acq.Err() != nil {
+				ep.abortSend(ss, fmt.Errorf("%w: %v", ErrPinAborted, acq.Err()))
+			}
+		})
+		// §4.3 mitigation: hold the rendezvous until a small prefix is
+		// pinned, so the first pull requests never outrun the cursor.
+		ep.mgr.OnPinProgress(r, ep.cfg.SyncPrefixPages, func(err error) {
+			if err != nil {
+				return // the acquire completion above handles the abort
+			}
+			sendRndv()
+		})
+	})
+}
+
+// abortSend fails a send request and stops its timers.
+func (ep *Endpoint) abortSend(ss *sendState, err error) {
+	if ss.rtxTimer != nil {
+		ss.rtxTimer.Cancel()
+		ss.rtxTimer = nil
+	}
+	delete(ep.sends, sendKey{ss.dst, ss.seq})
+	ep.complete(ss.req, err)
+}
+
+// armSendRetransmit (re)arms the control-message fallback timer.
+func (ep *Endpoint) armSendRetransmit(ss *sendState, resend func()) {
+	if ss.rtxTimer != nil {
+		ss.rtxTimer.Cancel()
+	}
+	ss.rtxTimer = ep.node.Eng.After(ep.cfg.RetransmitTimeout, func() {
+		if ss.acked || ss.req.done.Done() {
+			return
+		}
+		ss.tries++
+		if ss.tries > maxRetries {
+			ep.abortSend(ss, fmt.Errorf("%w: retransmit limit", ErrAborted))
+			return
+		}
+		ep.node.stats.Retransmits++
+		resend()
+		ep.armSendRetransmit(ss, resend)
+	})
+}
+
+// armSendInactivity (re)arms the liveness bound on an in-progress large
+// send: if no pull traffic arrives for maxRetries consecutive timeout
+// periods, the peer is gone and the request aborts.
+func (ep *Endpoint) armSendInactivity(ss *sendState) {
+	if ss.rtxTimer != nil {
+		ss.rtxTimer.Cancel()
+	}
+	ss.rtxTimer = ep.node.Eng.After(ep.cfg.RetransmitTimeout, func() {
+		if ss.req.done.Done() {
+			return
+		}
+		ss.tries++
+		if ss.tries > maxRetries {
+			ep.abortSend(ss, fmt.Errorf("%w: peer inactive", ErrAborted))
+			return
+		}
+		ep.armSendInactivity(ss)
+	})
+}
+
+// handleEagerAck completes an eager send.
+func (ep *Endpoint) handleEagerAck(m *eagerAck) {
+	ss, ok := ep.sends[sendKey{m.src, m.seq}]
+	if !ok {
+		return // duplicate ack
+	}
+	ss.acked = true
+	if ss.rtxTimer != nil {
+		ss.rtxTimer.Cancel()
+		ss.rtxTimer = nil
+	}
+	delete(ep.sends, sendKey{m.src, m.seq})
+	ep.complete(ss.req, nil)
+}
+
+// handlePullReq serves a pull request from the send region: the paper's
+// sender-side bottom half ("when a pull packet is received, data is read
+// from the send region and attached to pull reply packets", §2.2). The read
+// goes through the pinned frames — zero-copy, no CPU copy cost, only
+// per-reply descriptor work. If the requested range is beyond the pinned
+// prefix (overlapped pinning hasn't caught up), the request is dropped and
+// the receiver's optimistic re-request recovers it — an overlap miss
+// (paper §3.3, §4.3).
+func (ep *Endpoint) handlePullReq(m *pullReq) {
+	ss, ok := ep.sends[sendKey{m.src, m.seq}]
+	if !ok {
+		return // message already completed; receiver's notify path handles it
+	}
+	if ss.req.region == nil {
+		return // declaration still in flight
+	}
+	// First pull request implicitly acknowledges the rendezvous. From then
+	// on an inactivity timer bounds the wait for the notify: pull traffic
+	// re-arms it, total silence for maxRetries periods (a dead or closed
+	// peer) aborts the send instead of hanging forever.
+	if !ss.acked {
+		ss.acked = true
+		if ss.rtxTimer != nil {
+			ss.rtxTimer.Cancel()
+			ss.rtxTimer = nil
+		}
+	}
+	ss.tries = 0
+	ep.armSendInactivity(ss)
+	region := ss.req.region
+	if !region.Ready(m.off, m.length) {
+		ep.node.stats.OverlapMissSender++
+		ep.emit(trace.OverlapMissSnd, m.seq, m.off, m.length)
+		return
+	}
+	ep.emit(trace.PullReplySent, m.seq, m.off, m.length)
+	maxData := ep.node.maxData()
+	nfrags := (m.length + maxData - 1) / maxData
+	// Per-reply descriptor cost, charged as one BH item for the burst.
+	ep.node.rxCore.Submit(cpu.BottomHalf, sim.Duration(nfrags)*100*sim.Nanosecond, func() {
+		for off := m.off; off < m.off+m.length; off += maxData {
+			n := maxData
+			if off+n > m.off+m.length {
+				n = m.off + m.length - off
+			}
+			data := make([]byte, n)
+			if err := region.ReadAt(off, data); err != nil {
+				// Region invalidated between the Ready check and the read
+				// (application bug: freed a buffer mid-send). Abort.
+				ep.abortSend(ss, fmt.Errorf("%w: %v", ErrPinAborted, err))
+				return
+			}
+			ep.node.send(m.src.Node, n, &pullReply{
+				src: ep.addr, dst: m.src, seq: m.seq, off: off, data: data,
+			})
+		}
+	})
+}
+
+// handleNotify completes a large send: all data reached the receiver.
+func (ep *Endpoint) handleNotify(m *notifyMsg) {
+	// Always ack, even for unknown messages (duplicate notify after our
+	// state was reaped).
+	ep.node.send(m.src.Node, 0, &notifyAck{src: ep.addr, dst: m.src, seq: m.seq})
+	ss, ok := ep.sends[sendKey{m.src, m.seq}]
+	if !ok {
+		return
+	}
+	if ss.rtxTimer != nil {
+		ss.rtxTimer.Cancel()
+		ss.rtxTimer = nil
+	}
+	delete(ep.sends, sendKey{m.src, m.seq})
+	ep.complete(ss.req, nil)
+}

@@ -1,0 +1,113 @@
+// Package omx implements the Open-MX stack on the simulated substrates: the
+// MXoE wire protocol (eager messages, rendezvous + pull + notify for large
+// ones), endpoints with MX-style 64-bit matching, the kernel driver's
+// receive bottom halves, I/OAT receive-copy offload, retransmission, and —
+// through internal/core — the paper's decoupled/overlapped/cached memory
+// pinning (paper §2.2, §3).
+package omx
+
+import (
+	"fmt"
+
+	"omxsim/internal/core"
+)
+
+// EndpointAddr identifies an endpoint as (node, endpoint id), like an MX
+// board/endpoint pair.
+type EndpointAddr struct {
+	Node int
+	EP   int
+}
+
+// String renders the address as node:ep.
+func (a EndpointAddr) String() string { return fmt.Sprintf("%d:%d", a.Node, a.EP) }
+
+// msgKey globally identifies a message: sender address plus the sender's
+// per-destination sequence number.
+type msgKey struct {
+	src EndpointAddr
+	seq uint64
+}
+
+// Wire message payloads. Each is carried in an ethernet.Frame whose Size
+// accounts for the header overhead below plus any data bytes.
+
+// headerBytes is the MXoE header size per frame, charged on the wire in
+// addition to data.
+const headerBytes = 32
+
+// eagerFrag is one fragment of an eager (<= threshold) message. The
+// envelope (match information) travels on every fragment; the first one to
+// arrive triggers matching.
+type eagerFrag struct {
+	src, dst EndpointAddr
+	seq      uint64 // per (src,dst) pair ordering
+	match    uint64
+	total    int
+	off      int
+	data     []byte
+	nfrags   int
+	frag     int
+}
+
+// eagerAck acknowledges complete receipt of an eager message.
+type eagerAck struct {
+	src, dst EndpointAddr // src = original receiver
+	seq      uint64       // the acked message's seq
+}
+
+// rndvMsg announces a large message: the receiver will pull the data from
+// the sender's region (paper Figure 2).
+type rndvMsg struct {
+	src, dst EndpointAddr
+	seq      uint64
+	match    uint64
+	total    int
+}
+
+// pullReq asks the sender to transmit [off, off+length) of message seq.
+// Receiver-driven; duplicates are harmless (the sender is stateless for
+// pulls and the receiver dedups by offset).
+type pullReq struct {
+	src, dst EndpointAddr // src = receiver issuing the pull
+	seq      uint64
+	off      int
+	length   int
+}
+
+// pullReply carries data fragment [off, off+len(data)) of message seq.
+type pullReply struct {
+	src, dst EndpointAddr
+	seq      uint64
+	off      int
+	data     []byte
+}
+
+// notifyMsg tells the sender all data arrived (paper Figure 2: "notify").
+type notifyMsg struct {
+	src, dst EndpointAddr
+	seq      uint64
+}
+
+// notifyAck confirms the notify so the receiver can stop retransmitting it.
+type notifyAck struct {
+	src, dst EndpointAddr
+	seq      uint64
+}
+
+// abortMsg tells the receiver the sender aborted message seq (e.g. its send
+// buffer was freed mid-transfer and the pin was invalidated), so the
+// receiver stops pulling and errors its request.
+type abortMsg struct {
+	src, dst EndpointAddr
+	seq      uint64
+}
+
+// matches implements MX matching: the receive matches the message iff the
+// masked match information is equal.
+func matches(recvMatch, recvMask, msgMatch uint64) bool {
+	return (msgMatch & recvMask) == (recvMatch & recvMask)
+}
+
+// Segment aliases core.Segment for the public API surface of this package.
+type Segment = core.Segment

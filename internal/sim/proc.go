@@ -1,0 +1,227 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated process: a goroutine whose execution is interleaved
+// with the event loop such that exactly one of {engine, some proc} runs at a
+// time. Blocking operations (Sleep, Completion.Wait, channel helpers) park
+// the goroutine and hand control back to the engine, which resumes it when
+// the corresponding event fires. Because handoff is strictly sequential the
+// whole simulation stays deterministic and data-race free without locks.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	parked chan struct{}
+	done   bool
+}
+
+// Name returns the label the process was started with.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Go starts fn as a simulated process. The process begins executing at the
+// current simulated time (as an immediate event) and may outlive the caller's
+// stack frame; Run drives it to completion along with everything else.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		parked: make(chan struct{}),
+	}
+	started := false
+	e.After(0, func() {
+		if started {
+			return
+		}
+		started = true
+		go func() {
+			<-p.resume
+			fn(p)
+			p.done = true
+			p.parked <- struct{}{}
+		}()
+		p.run()
+	})
+	return p
+}
+
+// run transfers control to the process goroutine and waits until it parks
+// again or finishes. It must be called from the event-loop goroutine.
+func (p *Proc) run() {
+	p.resume <- struct{}{}
+	<-p.parked
+}
+
+// park suspends the process until a subsequent event calls run. It must be
+// called from the process goroutine.
+func (p *Proc) park() {
+	p.parked <- struct{}{}
+	<-p.resume
+}
+
+// Sleep suspends the process for d nanoseconds of simulated time.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: Proc.Sleep negative duration %d", d))
+	}
+	p.eng.After(d, p.run)
+	p.park()
+}
+
+// Yield reschedules the process at the current time, letting other events
+// and processes scheduled for this instant run first.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Completion is a one-shot future that processes can block on and event
+// handlers can complete. The zero value is ready to use.
+type Completion struct {
+	done    bool
+	err     error
+	waiters []func()
+}
+
+// Done reports whether Complete has been called.
+func (c *Completion) Done() bool { return c.done }
+
+// Err returns the error the completion finished with, if any.
+func (c *Completion) Err() error { return c.err }
+
+// Complete marks the completion done and wakes all waiters (as immediate
+// events, preserving FIFO order). Completing twice panics: it means two
+// owners thought they were responsible for the same request.
+func (c *Completion) Complete(e *Engine, err error) {
+	if c.done {
+		panic("sim: Completion completed twice")
+	}
+	c.done = true
+	c.err = err
+	for _, w := range c.waiters {
+		e.After(0, w)
+	}
+	c.waiters = nil
+}
+
+// OnDone registers fn to run when the completion finishes (immediately, as
+// an event, if it already has).
+func (c *Completion) OnDone(e *Engine, fn func()) {
+	if c.done {
+		e.After(0, fn)
+		return
+	}
+	c.waiters = append(c.waiters, fn)
+}
+
+// Wait blocks the process until the completion is done and returns its error.
+func (c *Completion) Wait(p *Proc) error {
+	if c.done {
+		return c.err
+	}
+	c.waiters = append(c.waiters, p.run)
+	p.park()
+	return c.err
+}
+
+// WaitAll blocks until every completion in cs is done and returns the first
+// non-nil error encountered (in slice order).
+func WaitAll(p *Proc, cs ...*Completion) error {
+	for _, c := range cs {
+		c.Wait(p)
+	}
+	for _, c := range cs {
+		if c.err != nil {
+			return c.err
+		}
+	}
+	return nil
+}
+
+// Queue is an unbounded FIFO that simulated processes can block on. Items
+// are delivered in insertion order; waiting processes are woken in arrival
+// order.
+type Queue[T any] struct {
+	items   []T
+	waiters []func()
+}
+
+// Len reports the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Push appends an item and wakes the oldest waiter, if any.
+func (q *Queue[T]) Push(e *Engine, v T) {
+	q.items = append(q.items, v)
+	if len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		e.After(0, w)
+	}
+}
+
+// TryPop removes and returns the head item without blocking.
+func (q *Queue[T]) TryPop() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Pop blocks the process until an item is available, then removes and
+// returns it.
+func (q *Queue[T]) Pop(p *Proc) T {
+	for {
+		if v, ok := q.TryPop(); ok {
+			return v
+		}
+		q.waiters = append(q.waiters, p.run)
+		p.park()
+	}
+}
+
+// Semaphore is a counting semaphore for simulated processes.
+type Semaphore struct {
+	avail   int
+	waiters []func()
+}
+
+// NewSemaphore returns a semaphore with n initial permits.
+func NewSemaphore(n int) *Semaphore { return &Semaphore{avail: n} }
+
+// Available reports the current number of permits.
+func (s *Semaphore) Available() int { return s.avail }
+
+// Acquire blocks the process until a permit is available and takes it.
+func (s *Semaphore) Acquire(p *Proc) {
+	for s.avail <= 0 {
+		s.waiters = append(s.waiters, p.run)
+		p.park()
+	}
+	s.avail--
+}
+
+// TryAcquire takes a permit without blocking, reporting success.
+func (s *Semaphore) TryAcquire() bool {
+	if s.avail <= 0 {
+		return false
+	}
+	s.avail--
+	return true
+}
+
+// Release returns a permit and wakes the oldest waiter, if any.
+func (s *Semaphore) Release(e *Engine) {
+	s.avail++
+	if len(s.waiters) > 0 {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		e.After(0, w)
+	}
+}

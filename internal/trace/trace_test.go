@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"omxsim/internal/sim"
+)
+
+func TestRecorderOrderAndCounts(t *testing.T) {
+	r := NewRecorder(10)
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{T: int64t(i), Kind: FragAccepted, Seq: 1, A: i})
+	}
+	r.Emit(Event{T: 100, Kind: MsgComplete, Seq: 1})
+	evs := r.Events()
+	if len(evs) != 6 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].T < evs[i-1].T {
+			t.Fatal("events out of order")
+		}
+	}
+	if r.Count(FragAccepted) != 5 || r.Count(MsgComplete) != 1 {
+		t.Fatal("counts wrong")
+	}
+	if r.Dropped() != 0 {
+		t.Fatal("unexpected drops")
+	}
+}
+
+func int64t(i int) sim.Time { return sim.Time(i * 10) }
+
+func TestRecorderRingWrap(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{T: int64t(i), Kind: PinStart, A: i})
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d, want 4", len(evs))
+	}
+	if evs[0].A != 6 || evs[3].A != 9 {
+		t.Fatalf("retained wrong window: %v..%v", evs[0].A, evs[3].A)
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", r.Dropped())
+	}
+	if r.Count(PinStart) != 10 {
+		t.Fatal("count must include dropped events")
+	}
+}
+
+func TestFilterAndTimeline(t *testing.T) {
+	r := NewRecorder(0)
+	r.Emit(Event{T: 1, Kind: RndvSent, Seq: 5})
+	r.Emit(Event{T: 2, Kind: PullReqSent, Seq: 5})
+	r.Emit(Event{T: 3, Kind: RndvSent, Seq: 6})
+	got := r.Filter(RndvSent)
+	if len(got) != 2 {
+		t.Fatalf("filter returned %d", len(got))
+	}
+	tl := r.Timeline(5)
+	if strings.Count(tl, "\n") != 2 {
+		t.Fatalf("timeline for seq 5 = %q", tl)
+	}
+	if !strings.Contains(tl, "rndv-sent") || !strings.Contains(tl, "pullreq-sent") {
+		t.Fatalf("timeline missing kinds: %q", tl)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if strings.HasPrefix(k.String(), "kind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if Kind(99).String() != "kind(99)" {
+		t.Fatal("unknown kind formatting")
+	}
+}

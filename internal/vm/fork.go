@@ -1,0 +1,48 @@
+package vm
+
+// Fork clones the address space into a child, copy-on-write style: present,
+// unpinned pages become read-only shares of the same frame in both parent
+// and child; the first write on either side duplicates the page (firing the
+// COW MMU notifier, the invalidation source the paper calls out in §2.1:
+// "the application may ... cause the operating system to duplicate a page
+// on Copy-on-write").
+//
+// Pinned pages are copied eagerly into the child instead of shared: a
+// device may be DMA-ing into the parent's frame, so the parent must keep
+// exclusive writable ownership — this mirrors how Linux fork treats pages
+// with elevated GUP counts.
+func (as *AddressSpace) Fork(childPID int) (*AddressSpace, error) {
+	child := NewAddressSpace(childPID, as.phys)
+	child.vmas = append([]vma(nil), as.vmas...)
+	child.mmapNext = as.mmapNext
+
+	for a, p := range as.pages {
+		switch {
+		case p.present && p.frame.pinRefs > 0:
+			// Eager copy for the child; parent stays writable and pinned.
+			f, err := as.phys.alloc()
+			if err != nil {
+				return nil, err
+			}
+			if p.frame.data != nil {
+				f.data = make([]byte, PageSize)
+				copy(f.data, p.frame.data)
+			}
+			f.mapRefs++
+			child.pages[a] = &pte{frame: f, present: true, writable: true}
+		case p.present:
+			// Share read-only; either side's next write breaks COW.
+			p.writable = false
+			p.frame.mapRefs++
+			child.pages[a] = &pte{frame: p.frame, present: true, writable: false}
+		case p.swapped:
+			// The child gets its own copy of the swapped contents.
+			cp := &pte{swapped: true}
+			if p.swapData != nil {
+				cp.swapData = append([]byte(nil), p.swapData...)
+			}
+			child.pages[a] = cp
+		}
+	}
+	return child, nil
+}

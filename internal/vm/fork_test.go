@@ -1,0 +1,162 @@
+package vm
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestForkSharesThenIsolates(t *testing.T) {
+	phys := NewPhysMem(0)
+	parent := NewAddressSpace(1, phys)
+	addr, _ := parent.Mmap(4 * PageSize)
+	data := []byte("shared between parent and child")
+	parent.Write(addr, data)
+	framesBefore := phys.FramesInUse()
+
+	child, err := parent.Fork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// COW: no new frames yet.
+	if phys.FramesInUse() != framesBefore {
+		t.Fatalf("fork allocated %d frames eagerly", phys.FramesInUse()-framesBefore)
+	}
+	got := make([]byte, len(data))
+	child.Read(addr, got)
+	if !bytes.Equal(got, data) {
+		t.Fatal("child does not see parent data")
+	}
+	// Child write isolates; parent unaffected.
+	child.Write(addr, []byte("CHILD"))
+	parent.Read(addr, got)
+	if !bytes.Equal(got, data) {
+		t.Fatal("child write leaked into parent")
+	}
+	if child.COWBreaks() != 1 {
+		t.Fatalf("child COW breaks = %d, want 1", child.COWBreaks())
+	}
+	// Parent write on another page also COW-breaks.
+	parent.Write(addr+PageSize, []byte("PARENT"))
+	ccheck := make([]byte, 6)
+	child.Read(addr+PageSize, ccheck)
+	if string(ccheck) == "PARENT" {
+		t.Fatal("parent write leaked into child")
+	}
+}
+
+func TestForkFiresCOWNotifierOnParentWrite(t *testing.T) {
+	// The §2.1 scenario: a registered driver must hear about the COW
+	// duplication triggered by a post-fork write.
+	parent := NewAddressSpace(1, NewPhysMem(0))
+	addr, _ := parent.Mmap(PageSize)
+	parent.Write(addr, []byte("x"))
+	rec := &recordingNotifier{}
+	parent.RegisterNotifier(rec)
+	if _, err := parent.Fork(2); err != nil {
+		t.Fatal(err)
+	}
+	parent.Write(addr, []byte("y"))
+	if len(rec.ranges) != 1 || rec.ranges[0].Reason != InvalidateCOW {
+		t.Fatalf("notifications = %+v, want one COW", rec.ranges)
+	}
+}
+
+func TestForkCopiesPinnedPagesEagerly(t *testing.T) {
+	phys := NewPhysMem(0)
+	parent := NewAddressSpace(1, phys)
+	addr, _ := parent.Mmap(2 * PageSize)
+	parent.Write(addr, []byte("dma-target"))
+	pin, _ := parent.Pin(addr, PageSize) // pin page 0 only
+	defer pin.Unpin()
+	f0 := pin.Frame(0)
+
+	child, err := parent.Fork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parent's pinned frame unchanged and still writable (no COW break on
+	// parent write).
+	breaks := parent.COWBreaks()
+	parent.Write(addr, []byte("DMA-TARGET"))
+	if parent.COWBreaks() != breaks {
+		t.Fatal("parent write to pinned page broke COW")
+	}
+	if f, _ := parent.FrameAt(addr); f != f0 {
+		t.Fatal("parent's pinned frame changed across fork")
+	}
+	// Child has its own copy with the pre-fork contents.
+	got := make([]byte, 10)
+	child.Read(addr, got)
+	if string(got) != "dma-target" {
+		t.Fatalf("child sees %q", got)
+	}
+	if f, _ := child.FrameAt(addr); f == f0 {
+		t.Fatal("child shares the pinned frame")
+	}
+}
+
+func TestForkSwappedPages(t *testing.T) {
+	parent := NewAddressSpace(1, NewPhysMem(0))
+	addr, _ := parent.Mmap(PageSize)
+	parent.Write(addr, []byte("swapped"))
+	parent.SwapOut(addr, PageSize)
+	child, err := parent.Fork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 7)
+	child.Read(addr, got)
+	if string(got) != "swapped" {
+		t.Fatalf("child read %q from swapped page", got)
+	}
+	// Independent copies: child write doesn't touch parent's swap image.
+	child.Write(addr, []byte("CHANGED"))
+	parent.Read(addr, got)
+	if string(got) != "swapped" {
+		t.Fatal("child write reached parent's swapped page")
+	}
+}
+
+// TestPropForkIsolation: after a fork and arbitrary interleaved writes on
+// both sides, each side reads back exactly what it wrote (or the pre-fork
+// data where it didn't write).
+func TestPropForkIsolation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		parent := NewAddressSpace(1, NewPhysMem(0))
+		const pages = 8
+		addr, _ := parent.Mmap(pages * PageSize)
+		initial := make([]byte, pages*PageSize)
+		rng.Read(initial)
+		parent.Write(addr, initial)
+		child, err := parent.Fork(2)
+		if err != nil {
+			return false
+		}
+		pExpect := append([]byte(nil), initial...)
+		cExpect := append([]byte(nil), initial...)
+		for i := 0; i < 40; i++ {
+			off := rng.Intn(pages*PageSize - 64)
+			n := 1 + rng.Intn(64)
+			buf := make([]byte, n)
+			rng.Read(buf)
+			if rng.Intn(2) == 0 {
+				parent.Write(addr+Addr(off), buf)
+				copy(pExpect[off:], buf)
+			} else {
+				child.Write(addr+Addr(off), buf)
+				copy(cExpect[off:], buf)
+			}
+		}
+		pGot := make([]byte, pages*PageSize)
+		cGot := make([]byte, pages*PageSize)
+		parent.Read(addr, pGot)
+		child.Read(addr, cGot)
+		return bytes.Equal(pGot, pExpect) && bytes.Equal(cGot, cExpect)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,195 @@
+package vm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MmapThreshold is the default allocation size above which Malloc uses a
+// dedicated mapping (so Free munmaps it and fires MMU notifiers), mirroring
+// glibc's M_MMAP_THRESHOLD. Smaller allocations come from a heap arena that
+// is never returned to the OS — freeing them is invisible to the kernel,
+// which is exactly why user-space symbol interception (the registration
+// caches the paper criticizes in §2.1) sees far more events than a
+// kernel-based cache does.
+const MmapThreshold = 128 * 1024
+
+// Allocator is a malloc/free implementation on top of an AddressSpace.
+type Allocator struct {
+	as        *AddressSpace
+	threshold int
+
+	// Large allocations: dedicated mappings, with freed ranges kept for
+	// address reuse (so a freed-then-reallocated buffer usually returns at
+	// the same virtual address, the paper's repin-after-free scenario).
+	large      map[Addr]int // addr -> mapped length
+	freeRanges []freeRange
+
+	// Small allocations: a simple first-fit arena.
+	arenaBase Addr
+	arenaSize int
+	blocks    []block // sorted by offset; covers the whole arena
+
+	mallocs, frees uint64
+}
+
+type freeRange struct {
+	addr Addr
+	size int // page-aligned size
+}
+
+type block struct {
+	off  int
+	size int
+	used bool
+}
+
+// NewAllocator returns an allocator for as. threshold <= 0 selects
+// MmapThreshold. arenaSize is the heap arena for small allocations
+// (<= 0 selects 16 MiB).
+func NewAllocator(as *AddressSpace, threshold, arenaSize int) (*Allocator, error) {
+	if threshold <= 0 {
+		threshold = MmapThreshold
+	}
+	if arenaSize <= 0 {
+		arenaSize = 16 << 20
+	}
+	arenaSize = int(PageAlignUp(Addr(arenaSize)))
+	base, err := as.Mmap(arenaSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Allocator{
+		as:        as,
+		threshold: threshold,
+		large:     make(map[Addr]int),
+		arenaBase: base,
+		arenaSize: arenaSize,
+		blocks:    []block{{off: 0, size: arenaSize}},
+	}, nil
+}
+
+// Mallocs reports the number of successful Malloc calls.
+func (al *Allocator) Mallocs() uint64 { return al.mallocs }
+
+// Frees reports the number of successful Free calls.
+func (al *Allocator) Frees() uint64 { return al.frees }
+
+// Malloc allocates size bytes and returns the address. Large requests get a
+// dedicated mapping (16-byte-aligned by construction: page aligned).
+func (al *Allocator) Malloc(size int) (Addr, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("vm: malloc(%d)", size)
+	}
+	if size >= al.threshold {
+		addr, err := al.mallocLarge(size)
+		if err == nil {
+			al.mallocs++
+		}
+		return addr, err
+	}
+	addr, err := al.mallocArena(size)
+	if err == nil {
+		al.mallocs++
+	}
+	return addr, err
+}
+
+func (al *Allocator) mallocLarge(size int) (Addr, error) {
+	mapped := int(PageAlignUp(Addr(size)))
+	// First-fit over freed ranges: exact-size reuse keeps addresses stable
+	// across free/malloc cycles.
+	for i, fr := range al.freeRanges {
+		if fr.size == mapped {
+			al.freeRanges = append(al.freeRanges[:i], al.freeRanges[i+1:]...)
+			if err := al.as.MmapFixed(fr.addr, mapped); err != nil {
+				return 0, err
+			}
+			al.large[fr.addr] = mapped
+			return fr.addr, nil
+		}
+	}
+	addr, err := al.as.Mmap(mapped)
+	if err != nil {
+		return 0, err
+	}
+	al.large[addr] = mapped
+	return addr, nil
+}
+
+const arenaAlign = 64
+
+func (al *Allocator) mallocArena(size int) (Addr, error) {
+	size = (size + arenaAlign - 1) &^ (arenaAlign - 1)
+	for i := range al.blocks {
+		if al.blocks[i].used || al.blocks[i].size < size {
+			continue
+		}
+		if al.blocks[i].size > size {
+			rest := block{off: al.blocks[i].off + size, size: al.blocks[i].size - size}
+			al.blocks[i].size = size
+			tail := append([]block{rest}, al.blocks[i+1:]...)
+			al.blocks = append(al.blocks[:i+1], tail...)
+		}
+		al.blocks[i].used = true
+		return al.arenaBase + Addr(al.blocks[i].off), nil
+	}
+	return 0, fmt.Errorf("vm: arena exhausted allocating %d bytes: %w", size, ErrNoMemory)
+}
+
+// Free releases the allocation at addr. Freeing a large allocation unmaps
+// it, which fires MMU notifiers — the event the driver's pinning cache
+// relies on (paper §3.1). Freeing an arena allocation just returns it to
+// the free list; the kernel never hears about it.
+func (al *Allocator) Free(addr Addr) error {
+	if size, ok := al.large[addr]; ok {
+		delete(al.large, addr)
+		if err := al.as.Munmap(addr, size); err != nil {
+			return err
+		}
+		al.freeRanges = append(al.freeRanges, freeRange{addr: addr, size: size})
+		al.frees++
+		return nil
+	}
+	if addr >= al.arenaBase && addr < al.arenaBase+Addr(al.arenaSize) {
+		off := int(addr - al.arenaBase)
+		for i := range al.blocks {
+			if al.blocks[i].off == off && al.blocks[i].used {
+				al.blocks[i].used = false
+				al.coalesce()
+				al.frees++
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("vm: free(%#x): not an allocation", uint64(addr))
+}
+
+func (al *Allocator) coalesce() {
+	sort.Slice(al.blocks, func(i, j int) bool { return al.blocks[i].off < al.blocks[j].off })
+	out := al.blocks[:0]
+	for _, b := range al.blocks {
+		if n := len(out); n > 0 && !out[n-1].used && !b.used && out[n-1].off+out[n-1].size == b.off {
+			out[n-1].size += b.size
+			continue
+		}
+		out = append(out, b)
+	}
+	al.blocks = out
+}
+
+// AllocSize reports the usable size of the allocation at addr, if known.
+func (al *Allocator) AllocSize(addr Addr) (int, bool) {
+	if size, ok := al.large[addr]; ok {
+		return size, true
+	}
+	if addr >= al.arenaBase && addr < al.arenaBase+Addr(al.arenaSize) {
+		off := int(addr - al.arenaBase)
+		for _, b := range al.blocks {
+			if b.off == off && b.used {
+				return b.size, true
+			}
+		}
+	}
+	return 0, false
+}

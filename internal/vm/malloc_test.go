@@ -1,0 +1,139 @@
+package vm
+
+import "testing"
+
+func newAlloc(t *testing.T) (*AddressSpace, *Allocator) {
+	t.Helper()
+	as := NewAddressSpace(1, NewPhysMem(0))
+	al, err := NewAllocator(as, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return as, al
+}
+
+func TestMallocSmallUsesArenaNoNotifier(t *testing.T) {
+	as, al := newAlloc(t)
+	n := &recordingNotifier{}
+	as.RegisterNotifier(n)
+	a, err := al.Malloc(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Write(a, []byte("small")); err != nil {
+		t.Fatal(err)
+	}
+	if err := al.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.ranges) != 0 {
+		t.Fatal("small free reached the kernel (fired notifier)")
+	}
+}
+
+func TestMallocLargeFreeFiresUnmapNotifier(t *testing.T) {
+	as, al := newAlloc(t)
+	n := &recordingNotifier{}
+	as.RegisterNotifier(n)
+	a, err := al.Malloc(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := al.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.ranges) != 1 || n.ranges[0].Reason != InvalidateUnmap {
+		t.Fatalf("notifications = %+v, want one unmap", n.ranges)
+	}
+	if n.ranges[0].Start != a {
+		t.Fatal("notification range does not start at the buffer")
+	}
+}
+
+func TestLargeFreeThenMallocReusesAddress(t *testing.T) {
+	// The paper's repin scenario: the same buffer may be reallocated at the
+	// same address after free, and the still-declared region repins it.
+	_, al := newAlloc(t)
+	a1, _ := al.Malloc(1 << 20)
+	if err := al.Free(a1); err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := al.Malloc(1 << 20)
+	if a2 != a1 {
+		t.Fatalf("realloc returned %#x, want reused %#x", uint64(a2), uint64(a1))
+	}
+}
+
+func TestMallocDistinctAddresses(t *testing.T) {
+	_, al := newAlloc(t)
+	seen := map[Addr]bool{}
+	for i := 0; i < 10; i++ {
+		a, err := al.Malloc(256 * 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[a] {
+			t.Fatalf("address %#x handed out twice while live", uint64(a))
+		}
+		seen[a] = true
+	}
+}
+
+func TestArenaReuseAndCoalesce(t *testing.T) {
+	_, al := newAlloc(t)
+	a, _ := al.Malloc(4096)
+	b, _ := al.Malloc(4096)
+	c, _ := al.Malloc(4096)
+	al.Free(a)
+	al.Free(b)
+	// a+b coalesced: an 8KiB alloc should fit at a's offset.
+	d, err := al.Malloc(8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != a {
+		t.Fatalf("coalesced alloc at %#x, want %#x", uint64(d), uint64(a))
+	}
+	al.Free(c)
+	al.Free(d)
+}
+
+func TestFreeUnknownFails(t *testing.T) {
+	_, al := newAlloc(t)
+	if err := al.Free(0xdead000); err == nil {
+		t.Fatal("free of unknown address succeeded")
+	}
+}
+
+func TestAllocSize(t *testing.T) {
+	_, al := newAlloc(t)
+	a, _ := al.Malloc(300 * 1024)
+	if sz, ok := al.AllocSize(a); !ok || sz < 300*1024 {
+		t.Fatalf("AllocSize = %d,%v", sz, ok)
+	}
+	b, _ := al.Malloc(100)
+	if sz, ok := al.AllocSize(b); !ok || sz < 100 {
+		t.Fatalf("AllocSize small = %d,%v", sz, ok)
+	}
+	if _, ok := al.AllocSize(0x42); ok {
+		t.Fatal("AllocSize of bogus address ok")
+	}
+}
+
+func TestMallocCounters(t *testing.T) {
+	_, al := newAlloc(t)
+	a, _ := al.Malloc(1 << 20)
+	b, _ := al.Malloc(64)
+	al.Free(a)
+	al.Free(b)
+	if al.Mallocs() != 2 || al.Frees() != 2 {
+		t.Fatalf("counters = %d/%d, want 2/2", al.Mallocs(), al.Frees())
+	}
+}
+
+func TestMallocZeroFails(t *testing.T) {
+	_, al := newAlloc(t)
+	if _, err := al.Malloc(0); err == nil {
+		t.Fatal("malloc(0) succeeded")
+	}
+}

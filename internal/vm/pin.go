@@ -1,0 +1,155 @@
+package vm
+
+import "fmt"
+
+// Pinned is a get_user_pages-style handle: a set of page frames whose
+// physical location is guaranteed stable until Unpin. The handle holds one
+// pin reference per page; while any pin reference exists the frame cannot be
+// migrated, swapped, or freed (even if the mapping goes away, the frame
+// itself survives until the last unpin).
+type Pinned struct {
+	as     *AddressSpace
+	start  Addr // page aligned
+	frames []*Frame
+	active bool
+}
+
+// Pin pins the pages covering [addr, addr+length), faulting them in as
+// needed, and returns a handle exposing their frames. It fails with
+// ErrBadAddress if any page is outside a mapping — the paper's "application
+// gave an invalid segment" case, detected at pin time rather than at region
+// declaration (§3.1).
+func (as *AddressSpace) Pin(addr Addr, length int) (*Pinned, error) {
+	if length <= 0 {
+		return nil, fmt.Errorf("vm: pin of %d bytes: %w", length, ErrBadAddress)
+	}
+	start := PageAlignDown(addr)
+	end := PageAlignUp(addr + Addr(length))
+	n := int((end - start) >> PageShift)
+	p := &Pinned{as: as, start: start, frames: make([]*Frame, 0, n), active: true}
+	for a := start; a < end; a += PageSize {
+		f, err := as.pinOne(a)
+		if err != nil {
+			p.unpinAll() // roll back partial pin
+			return nil, err
+		}
+		p.frames = append(p.frames, f)
+	}
+	return p, nil
+}
+
+// PinPages pins exactly count pages starting at the page containing addr,
+// beginning at page index first. It is the incremental primitive behind
+// overlapped pinning: the driver pins a region in chunks, advancing a
+// progress cursor. The returned handle covers only the requested pages.
+func (as *AddressSpace) PinPages(addr Addr, first, count int) (*Pinned, error) {
+	if count <= 0 || first < 0 {
+		return nil, fmt.Errorf("vm: pin pages first=%d count=%d: %w", first, count, ErrBadAddress)
+	}
+	start := PageAlignDown(addr) + Addr(first)<<PageShift
+	p := &Pinned{as: as, start: start, frames: make([]*Frame, 0, count), active: true}
+	for i := 0; i < count; i++ {
+		f, err := as.pinOne(start + Addr(i)<<PageShift)
+		if err != nil {
+			p.unpinAll()
+			return nil, err
+		}
+		p.frames = append(p.frames, f)
+	}
+	return p, nil
+}
+
+func (as *AddressSpace) pinOne(a Addr) (*Frame, error) {
+	// Pinning faults for write: the device may DMA into the page, so a
+	// COW-shared page must be broken now, not when the DMA lands.
+	f, err := as.fault(a, true)
+	if err != nil {
+		return nil, err
+	}
+	f.pinRefs++
+	p := as.pages[a]
+	p.pins++
+	return f, nil
+}
+
+// NumPages reports the number of pinned pages.
+func (p *Pinned) NumPages() int { return len(p.frames) }
+
+// Start returns the first pinned page's virtual address.
+func (p *Pinned) Start() Addr { return p.start }
+
+// Active reports whether the handle still holds its pins.
+func (p *Pinned) Active() bool { return p.active }
+
+// Frame returns pinned page i's frame. This is the translation a driver
+// uses for device access: stable for the lifetime of the handle.
+func (p *Pinned) Frame(i int) *Frame { return p.frames[i] }
+
+// Unpin drops all pin references. Frames whose mappings are already gone
+// are freed here (the put_page of the last reference).
+func (p *Pinned) Unpin() error {
+	if !p.active {
+		return ErrDoubleUnpin
+	}
+	p.unpinAll()
+	return nil
+}
+
+func (p *Pinned) unpinAll() {
+	for i, f := range p.frames {
+		if f == nil {
+			continue
+		}
+		f.pinRefs--
+		if f.pinRefs < 0 {
+			panic(fmt.Sprintf("vm: negative pin count on frame %d", f.pfn))
+		}
+		a := p.start + Addr(i)<<PageShift
+		if pte, ok := p.as.pages[a]; ok && pte.present && pte.frame == f && pte.pins > 0 {
+			pte.pins--
+		}
+		if f.mapRefs == 0 && f.pinRefs == 0 {
+			p.as.phys.release(f)
+		}
+	}
+	p.frames = nil
+	p.active = false
+}
+
+// ReadAt copies length bytes starting at byte offset off within the pinned
+// range into dst, going through the stable frame translations (this is what
+// device/bottom-half code does: physical access, no page-table walk).
+func (p *Pinned) ReadAt(off int, dst []byte) error {
+	return p.access(off, len(dst), func(f *Frame, fo int, n int, done int) {
+		f.Read(fo, dst[done:done+n])
+	})
+}
+
+// WriteAt copies src into the pinned range at byte offset off.
+func (p *Pinned) WriteAt(off int, src []byte) error {
+	return p.access(off, len(src), func(f *Frame, fo int, n int, done int) {
+		f.Write(fo, src[done:done+n])
+	})
+}
+
+func (p *Pinned) access(off, length int, fn func(f *Frame, frameOff, n, done int)) error {
+	if !p.active {
+		return fmt.Errorf("vm: access through inactive pin handle: %w", ErrDoubleUnpin)
+	}
+	if off < 0 || off+length > len(p.frames)*PageSize {
+		return fmt.Errorf("vm: pinned access [%d,%d) outside %d pages: %w",
+			off, off+length, len(p.frames), ErrBadAddress)
+	}
+	done := 0
+	for done < length {
+		idx := (off + done) >> PageShift
+		fo := (off + done) & (PageSize - 1)
+		n := PageSize - fo
+		if n > length-done {
+			n = length - done
+		}
+		fn(p.frames[idx], fo, n, done)
+		done += n
+	}
+	return nil
+}

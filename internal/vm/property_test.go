@@ -1,0 +1,239 @@
+package vm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropPinCountsBalance drives a random sequence of pin/unpin operations
+// and verifies the core accounting invariant: after releasing every handle,
+// no frame carries a pin reference and frame counts return to the mapped
+// baseline.
+func TestPropPinCountsBalance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		phys := NewPhysMem(0)
+		as := NewAddressSpace(1, phys)
+		const pages = 32
+		addr, _ := as.Mmap(pages * PageSize)
+		var handles []*Pinned
+		for op := 0; op < 100; op++ {
+			if rng.Intn(2) == 0 || len(handles) == 0 {
+				first := rng.Intn(pages)
+				count := 1 + rng.Intn(pages-first)
+				h, err := as.PinPages(addr, first, count)
+				if err != nil {
+					return false
+				}
+				handles = append(handles, h)
+			} else {
+				i := rng.Intn(len(handles))
+				handles[i].Unpin()
+				handles = append(handles[:i], handles[i+1:]...)
+			}
+		}
+		for _, h := range handles {
+			if h.Unpin() != nil {
+				return false
+			}
+		}
+		for a := addr; a < addr+pages*PageSize; a += PageSize {
+			if f, ok := as.FrameAt(a); ok && f.PinCount() != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropPinnedFramesStableUnderVMPressure checks the paper's fundamental
+// pinning guarantee: whatever mix of migration and swap pressure the OS
+// applies, the frames under an active pin handle never change and their data
+// stays intact.
+func TestPropPinnedFramesStableUnderVMPressure(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		as := NewAddressSpace(1, NewPhysMem(0))
+		const pages = 16
+		addr, _ := as.Mmap(pages * PageSize)
+		payload := make([]byte, pages*PageSize)
+		rng.Read(payload)
+		as.Write(addr, payload)
+
+		first := rng.Intn(pages)
+		count := 1 + rng.Intn(pages-first)
+		pin, err := as.PinPages(addr, first, count)
+		if err != nil {
+			return false
+		}
+		before := make([]*Frame, count)
+		for i := 0; i < count; i++ {
+			before[i] = pin.Frame(i)
+		}
+		for i := 0; i < 20; i++ {
+			switch rng.Intn(2) {
+			case 0:
+				as.Migrate(addr, pages*PageSize)
+			case 1:
+				as.SwapOut(addr, pages*PageSize)
+				// Touch a random page to force swap-ins interleaved with pins.
+				a := addr + Addr(rng.Intn(pages))<<PageShift
+				as.Read(a, make([]byte, 8))
+			}
+		}
+		for i := 0; i < count; i++ {
+			if pin.Frame(i) != before[i] {
+				return false
+			}
+		}
+		got := make([]byte, count*PageSize)
+		if pin.ReadAt(0, got) != nil {
+			return false
+		}
+		want := payload[first*PageSize : (first+count)*PageSize]
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		pin.Unpin()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropMallocFreeNoLeaks runs random malloc/free sequences and verifies
+// that all frames are reclaimed once everything is freed and unmapped
+// regions reject access.
+func TestPropMallocFreeNoLeaks(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		phys := NewPhysMem(0)
+		as := NewAddressSpace(1, phys)
+		al, err := NewAllocator(as, 0, 1<<20)
+		if err != nil {
+			return false
+		}
+		type alloc struct {
+			addr Addr
+			size int
+		}
+		var live []alloc
+		for op := 0; op < 200; op++ {
+			if rng.Intn(2) == 0 || len(live) == 0 {
+				var size int
+				if rng.Intn(3) == 0 {
+					size = MmapThreshold + rng.Intn(1<<20)
+				} else {
+					size = 1 + rng.Intn(8192)
+				}
+				a, err := al.Malloc(size)
+				if err != nil {
+					continue // arena may fill up; that's fine
+				}
+				// Touch the first and last byte so frames materialize.
+				if as.Write(a, []byte{1}) != nil {
+					return false
+				}
+				if as.Write(a+Addr(size-1), []byte{2}) != nil {
+					return false
+				}
+				live = append(live, alloc{a, size})
+			} else {
+				i := rng.Intn(len(live))
+				if al.Free(live[i].addr) != nil {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+		}
+		for _, a := range live {
+			if al.Free(a.addr) != nil {
+				return false
+			}
+		}
+		// Only arena frames may remain (the arena itself stays mapped).
+		return phys.FramesInUse() <= (1<<20)/PageSize
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropWriteReadRoundTrip: arbitrary writes at arbitrary offsets read
+// back exactly, across page boundaries.
+func TestPropWriteReadRoundTrip(t *testing.T) {
+	f := func(off uint16, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		as := NewAddressSpace(1, NewPhysMem(0))
+		size := int(off) + len(data) + PageSize
+		addr, err := as.Mmap(size)
+		if err != nil {
+			return false
+		}
+		if as.Write(addr+Addr(off), data) != nil {
+			return false
+		}
+		got := make([]byte, len(data))
+		if as.Read(addr+Addr(off), got) != nil {
+			return false
+		}
+		for i := range got {
+			if got[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropMunmapAlwaysNotifiesWholeRange: for random mapped layouts, every
+// munmap fires exactly one unmap notification covering the range, before
+// the pages disappear.
+func TestPropMunmapAlwaysNotifiesWholeRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		as := NewAddressSpace(1, NewPhysMem(0))
+		rec := &recordingNotifier{}
+		as.RegisterNotifier(rec)
+		var addrs []Addr
+		var sizes []int
+		for i := 0; i < 5; i++ {
+			size := PageSize * (1 + rng.Intn(8))
+			a, err := as.Mmap(size)
+			if err != nil {
+				return false
+			}
+			addrs = append(addrs, a)
+			sizes = append(sizes, size)
+		}
+		for i := range addrs {
+			n := len(rec.ranges)
+			if as.Munmap(addrs[i], sizes[i]) != nil {
+				return false
+			}
+			if len(rec.ranges) != n+1 {
+				return false
+			}
+			nr := rec.ranges[n]
+			if nr.Start != addrs[i] || nr.End != addrs[i]+Addr(sizes[i]) || nr.Reason != InvalidateUnmap {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

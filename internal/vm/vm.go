@@ -1,0 +1,647 @@
+// Package vm simulates the virtual-memory subsystem the paper's mechanism
+// lives in: per-process address spaces with demand-paged 4 KiB pages,
+// physical frames carrying real data, page pinning with per-page pin counts
+// (the get_user_pages/put_page analogue), copy-on-write, page migration,
+// swap, and — centrally — MMU notifiers: callbacks invoked *before* any
+// mapping change, which is what lets the Open-MX driver keep a reliable
+// kernel-side pinning cache (paper §2.1, §3.1).
+//
+// The package models state and semantics only; CPU time for pinning and
+// copying is charged by callers (the driver) on cpu.Core work queues.
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// PageSize is the size of a virtual page and physical frame.
+const (
+	PageSize  = 4096
+	PageShift = 12
+)
+
+// Addr is a virtual address within an AddressSpace.
+type Addr uint64
+
+// PageAlignDown rounds a down to a page boundary.
+func PageAlignDown(a Addr) Addr { return a &^ (PageSize - 1) }
+
+// PageAlignUp rounds a up to a page boundary.
+func PageAlignUp(a Addr) Addr { return (a + PageSize - 1) &^ (PageSize - 1) }
+
+// PageCount reports the number of pages spanned by [addr, addr+length).
+func PageCount(addr Addr, length int) int {
+	if length <= 0 {
+		return 0
+	}
+	first := PageAlignDown(addr)
+	last := PageAlignUp(addr + Addr(length))
+	return int((last - first) >> PageShift)
+}
+
+// Errors returned by address-space operations.
+var (
+	ErrBadAddress  = errors.New("vm: address range not mapped")
+	ErrPinned      = errors.New("vm: page is pinned")
+	ErrNoMemory    = errors.New("vm: out of physical frames")
+	ErrBadUnmap    = errors.New("vm: unmap range does not match a mapping")
+	ErrNotSwapped  = errors.New("vm: page not swapped")
+	ErrDoubleUnpin = errors.New("vm: unpin without matching pin")
+)
+
+// Frame is a physical page frame. Its data is allocated lazily on first
+// write; unwritten frames read as zeros.
+type Frame struct {
+	pfn     uint64
+	data    []byte
+	mapRefs int // number of PTEs referencing this frame
+	pinRefs int // get_user_pages-style references
+	freed   bool
+}
+
+// PFN returns the frame's physical frame number.
+func (f *Frame) PFN() uint64 { return f.pfn }
+
+// PinCount returns the frame's current pin reference count.
+func (f *Frame) PinCount() int { return f.pinRefs }
+
+// Read copies min(len(dst), PageSize-off) bytes from the frame at off.
+func (f *Frame) Read(off int, dst []byte) int {
+	if f.freed {
+		panic(fmt.Sprintf("vm: read of freed frame %d", f.pfn))
+	}
+	n := len(dst)
+	if off+n > PageSize {
+		n = PageSize - off
+	}
+	if n <= 0 {
+		return 0
+	}
+	if f.data == nil {
+		for i := 0; i < n; i++ {
+			dst[i] = 0
+		}
+		return n
+	}
+	copy(dst[:n], f.data[off:off+n])
+	return n
+}
+
+// Write copies min(len(src), PageSize-off) bytes into the frame at off.
+func (f *Frame) Write(off int, src []byte) int {
+	if f.freed {
+		panic(fmt.Sprintf("vm: write to freed frame %d", f.pfn))
+	}
+	n := len(src)
+	if off+n > PageSize {
+		n = PageSize - off
+	}
+	if n <= 0 {
+		return 0
+	}
+	if f.data == nil {
+		f.data = make([]byte, PageSize)
+	}
+	copy(f.data[off:off+n], src[:n])
+	return n
+}
+
+// PhysMem is the machine's physical memory: a frame allocator with a
+// capacity limit and usage accounting.
+type PhysMem struct {
+	capacity int // frames; 0 = unlimited
+	nextPFN  uint64
+	inUse    int
+	peak     int
+}
+
+// NewPhysMem returns physical memory with capacity frames (0 = unlimited).
+func NewPhysMem(capacity int) *PhysMem {
+	return &PhysMem{capacity: capacity}
+}
+
+// FramesInUse reports the number of live frames.
+func (pm *PhysMem) FramesInUse() int { return pm.inUse }
+
+// PeakFrames reports the high-water mark of live frames.
+func (pm *PhysMem) PeakFrames() int { return pm.peak }
+
+// Capacity reports the configured frame limit (0 = unlimited).
+func (pm *PhysMem) Capacity() int { return pm.capacity }
+
+func (pm *PhysMem) alloc() (*Frame, error) {
+	if pm.capacity > 0 && pm.inUse >= pm.capacity {
+		return nil, ErrNoMemory
+	}
+	pm.nextPFN++
+	pm.inUse++
+	if pm.inUse > pm.peak {
+		pm.peak = pm.inUse
+	}
+	return &Frame{pfn: pm.nextPFN}, nil
+}
+
+func (pm *PhysMem) release(f *Frame) {
+	if f.freed {
+		panic(fmt.Sprintf("vm: double free of frame %d", f.pfn))
+	}
+	if f.mapRefs != 0 || f.pinRefs != 0 {
+		panic(fmt.Sprintf("vm: freeing frame %d with refs map=%d pin=%d", f.pfn, f.mapRefs, f.pinRefs))
+	}
+	f.freed = true
+	f.data = nil
+	pm.inUse--
+}
+
+// pte is a page-table entry.
+type pte struct {
+	frame    *Frame
+	present  bool
+	writable bool // false while COW-shared
+	swapped  bool
+	swapData []byte // contents saved at swap-out
+	pins     int    // pins through *this mapping*
+}
+
+// vma is a mapped virtual region (anonymous memory only).
+type vma struct {
+	start, end Addr // page aligned, [start, end)
+}
+
+// NotifierRange describes an invalidated virtual range.
+type NotifierRange struct {
+	Start Addr
+	End   Addr // exclusive
+	// Reason tells the listener why the range is going away, mirroring the
+	// distinct MMU-notifier call sites in Linux.
+	Reason InvalidateReason
+}
+
+// InvalidateReason enumerates the mapping-change causes that fire notifiers.
+type InvalidateReason int
+
+const (
+	// InvalidateUnmap: the range is being munmap'ed (e.g. free of a large
+	// malloc'd buffer).
+	InvalidateUnmap InvalidateReason = iota
+	// InvalidateCOW: a page is being duplicated on copy-on-write.
+	InvalidateCOW
+	// InvalidateMigrate: the OS is moving the page to another frame.
+	InvalidateMigrate
+	// InvalidateSwap: the page is being written to swap.
+	InvalidateSwap
+	// InvalidateProtect: page permissions are changing (mprotect).
+	InvalidateProtect
+)
+
+// String names the reason.
+func (r InvalidateReason) String() string {
+	switch r {
+	case InvalidateUnmap:
+		return "unmap"
+	case InvalidateCOW:
+		return "cow"
+	case InvalidateMigrate:
+		return "migrate"
+	case InvalidateSwap:
+		return "swap"
+	case InvalidateProtect:
+		return "mprotect"
+	default:
+		return fmt.Sprintf("reason(%d)", int(r))
+	}
+}
+
+// Notifier receives MMU-notifier callbacks. InvalidateRange is called
+// synchronously *before* the mapping change takes effect, exactly like
+// mmu_notifier invalidate_range_start in Linux 2.6.27: listeners must drop
+// their use of the pages (unpin) before returning.
+type Notifier interface {
+	InvalidateRange(r NotifierRange)
+}
+
+// AddressSpace is a simulated process address space.
+type AddressSpace struct {
+	pid       int
+	phys      *PhysMem
+	vmas      []vma // sorted by start
+	pages     map[Addr]*pte
+	notifiers []Notifier
+
+	mmapNext Addr // bump pointer for fresh mappings
+
+	// Statistics.
+	faults      uint64
+	cowBreaks   uint64
+	swapIns     uint64
+	notifyCount map[InvalidateReason]uint64
+}
+
+// mmapBase is where anonymous mappings start; an arbitrary but recognizable
+// constant well away from zero so nil-ish addresses fault loudly.
+const mmapBase Addr = 0x7f00_0000_0000
+
+// NewAddressSpace returns an empty address space for process pid backed by
+// phys.
+func NewAddressSpace(pid int, phys *PhysMem) *AddressSpace {
+	return &AddressSpace{
+		pid:         pid,
+		phys:        phys,
+		pages:       make(map[Addr]*pte),
+		mmapNext:    mmapBase,
+		notifyCount: make(map[InvalidateReason]uint64),
+	}
+}
+
+// PID returns the owning process id.
+func (as *AddressSpace) PID() int { return as.pid }
+
+// Phys returns the backing physical memory.
+func (as *AddressSpace) Phys() *PhysMem { return as.phys }
+
+// Faults reports the number of demand faults served.
+func (as *AddressSpace) Faults() uint64 { return as.faults }
+
+// COWBreaks reports the number of copy-on-write duplications performed.
+func (as *AddressSpace) COWBreaks() uint64 { return as.cowBreaks }
+
+// SwapIns reports the number of pages faulted back from swap.
+func (as *AddressSpace) SwapIns() uint64 { return as.swapIns }
+
+// Notifications reports how many notifier callbacks have fired for reason r.
+func (as *AddressSpace) Notifications(r InvalidateReason) uint64 { return as.notifyCount[r] }
+
+// RegisterNotifier attaches an MMU notifier to the address space (the
+// driver does this when an endpoint is opened, paper §3.1).
+func (as *AddressSpace) RegisterNotifier(n Notifier) {
+	as.notifiers = append(as.notifiers, n)
+}
+
+// UnregisterNotifier detaches a notifier.
+func (as *AddressSpace) UnregisterNotifier(n Notifier) {
+	for i, x := range as.notifiers {
+		if x == n {
+			as.notifiers = append(as.notifiers[:i], as.notifiers[i+1:]...)
+			return
+		}
+	}
+}
+
+func (as *AddressSpace) notify(start, end Addr, reason InvalidateReason) {
+	as.notifyCount[reason]++
+	for _, n := range as.notifiers {
+		n.InvalidateRange(NotifierRange{Start: start, End: end, Reason: reason})
+	}
+}
+
+// Mmap maps length bytes of fresh anonymous memory at a kernel-chosen
+// address and returns that address. Pages materialize on first access.
+func (as *AddressSpace) Mmap(length int) (Addr, error) {
+	if length <= 0 {
+		return 0, fmt.Errorf("vm: mmap length %d: %w", length, ErrBadAddress)
+	}
+	size := Addr(PageAlignUp(Addr(length)))
+	addr := as.mmapNext
+	as.mmapNext += size + PageSize // guard page gap
+	as.insertVMA(vma{start: addr, end: addr + size})
+	return addr, nil
+}
+
+// MmapFixed maps [addr, addr+length) exactly; used by the malloc arena to
+// reuse freed ranges. The range must be page aligned and unmapped.
+func (as *AddressSpace) MmapFixed(addr Addr, length int) error {
+	if addr != PageAlignDown(addr) || length <= 0 {
+		return ErrBadAddress
+	}
+	end := addr + PageAlignUp(Addr(length))
+	for _, v := range as.vmas {
+		if addr < v.end && v.start < end {
+			return fmt.Errorf("vm: fixed mapping overlaps existing vma: %w", ErrBadAddress)
+		}
+	}
+	as.insertVMA(vma{start: addr, end: end})
+	return nil
+}
+
+func (as *AddressSpace) insertVMA(v vma) {
+	i := sort.Search(len(as.vmas), func(i int) bool { return as.vmas[i].start >= v.start })
+	as.vmas = append(as.vmas, vma{})
+	copy(as.vmas[i+1:], as.vmas[i:])
+	as.vmas[i] = v
+}
+
+// Munmap removes the mapping covering exactly [addr, addr+length) (page
+// granular). MMU notifiers fire before the teardown. Pages that are still
+// pinned after the notifiers return keep their frames alive (the pinner
+// holds a frame reference), but the translation is gone — exactly the
+// stale-DMA hazard a correct driver avoids by unpinning in the callback.
+func (as *AddressSpace) Munmap(addr Addr, length int) error {
+	if length <= 0 {
+		return ErrBadUnmap
+	}
+	start := PageAlignDown(addr)
+	end := PageAlignUp(addr + Addr(length))
+	// Require the range to be covered by VMAs (Linux tolerates holes; we
+	// are stricter to catch allocator bugs).
+	if !as.covered(start, end) {
+		return ErrBadUnmap
+	}
+	as.notify(start, end, InvalidateUnmap)
+	for a := start; a < end; a += PageSize {
+		as.dropPTE(a)
+	}
+	as.removeVMARange(start, end)
+	return nil
+}
+
+func (as *AddressSpace) covered(start, end Addr) bool {
+	a := start
+	for _, v := range as.vmas {
+		if v.end <= a {
+			continue
+		}
+		if v.start > a {
+			return false
+		}
+		a = v.end
+		if a >= end {
+			return true
+		}
+	}
+	return a >= end
+}
+
+func (as *AddressSpace) removeVMARange(start, end Addr) {
+	var out []vma
+	for _, v := range as.vmas {
+		if v.end <= start || v.start >= end {
+			out = append(out, v)
+			continue
+		}
+		if v.start < start {
+			out = append(out, vma{start: v.start, end: start})
+		}
+		if v.end > end {
+			out = append(out, vma{start: end, end: v.end})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].start < out[j].start })
+	as.vmas = out
+}
+
+// dropPTE tears down the translation for page a, releasing the frame
+// reference held by the mapping.
+func (as *AddressSpace) dropPTE(a Addr) {
+	p, ok := as.pages[a]
+	if !ok {
+		return
+	}
+	if p.present {
+		p.frame.mapRefs--
+		// Pins held through this mapping keep their frame references; they
+		// are tracked by the Pinned handle, not by the PTE.
+		if p.frame.mapRefs == 0 && p.frame.pinRefs == 0 {
+			as.phys.release(p.frame)
+		}
+	}
+	delete(as.pages, a)
+}
+
+// Mapped reports whether every page of [addr, addr+length) lies inside a
+// mapping.
+func (as *AddressSpace) Mapped(addr Addr, length int) bool {
+	if length <= 0 {
+		return false
+	}
+	return as.covered(PageAlignDown(addr), PageAlignUp(addr+Addr(length)))
+}
+
+// fault materializes the PTE for page a (demand-zero, swap-in, or COW break
+// on write), returning the frame. forWrite causes COW duplication.
+func (as *AddressSpace) fault(a Addr, forWrite bool) (*Frame, error) {
+	if !as.covered(a, a+PageSize) {
+		return nil, fmt.Errorf("vm: fault at %#x: %w", uint64(a), ErrBadAddress)
+	}
+	p, ok := as.pages[a]
+	if !ok {
+		p = &pte{}
+		as.pages[a] = p
+	}
+	if p.swapped {
+		f, err := as.phys.alloc()
+		if err != nil {
+			return nil, err
+		}
+		if p.swapData != nil {
+			f.data = p.swapData
+		}
+		p.swapData = nil
+		p.swapped = false
+		p.frame = f
+		p.present = true
+		p.writable = true
+		f.mapRefs++
+		as.swapIns++
+		as.faults++
+	}
+	if !p.present {
+		f, err := as.phys.alloc()
+		if err != nil {
+			return nil, err
+		}
+		p.frame = f
+		p.present = true
+		p.writable = true
+		f.mapRefs++
+		as.faults++
+	}
+	if forWrite && !p.writable {
+		if err := as.breakCOW(a, p); err != nil {
+			return nil, err
+		}
+	}
+	return p.frame, nil
+}
+
+// breakCOW duplicates a COW-shared page into a private frame. The notifier
+// fires first because any device translation pointing at the shared frame
+// is about to become wrong for this process (paper §2.1).
+func (as *AddressSpace) breakCOW(a Addr, p *pte) error {
+	as.notify(a, a+PageSize, InvalidateCOW)
+	old := p.frame
+	f, err := as.phys.alloc()
+	if err != nil {
+		return err
+	}
+	if old.data != nil {
+		f.data = make([]byte, PageSize)
+		copy(f.data, old.data)
+	}
+	old.mapRefs--
+	if old.mapRefs == 0 && old.pinRefs == 0 {
+		as.phys.release(old)
+	}
+	p.frame = f
+	p.writable = true
+	f.mapRefs++
+	as.cowBreaks++
+	return nil
+}
+
+// MarkCOW makes the pages of [addr, addr+length) copy-on-write, as a fork
+// would: present pages become read-only shares; the next write duplicates
+// them (and fires the COW notifier).
+func (as *AddressSpace) MarkCOW(addr Addr, length int) error {
+	start := PageAlignDown(addr)
+	end := PageAlignUp(addr + Addr(length))
+	if !as.covered(start, end) {
+		return ErrBadAddress
+	}
+	for a := start; a < end; a += PageSize {
+		if p, ok := as.pages[a]; ok && p.present {
+			p.writable = false
+		}
+	}
+	return nil
+}
+
+// MProtect changes the writability of the pages covering
+// [addr, addr+length). Downgrading to read-only fires MMU notifiers (as
+// change_protection does in Linux): device translations that assumed write
+// access must be dropped. Restoring write access notifies nobody; the next
+// write simply proceeds (present read-only pages are COW-broken, which is
+// the conservative but safe behaviour for shared frames).
+func (as *AddressSpace) MProtect(addr Addr, length int, writable bool) error {
+	start := PageAlignDown(addr)
+	end := PageAlignUp(addr + Addr(length))
+	if !as.covered(start, end) {
+		return ErrBadAddress
+	}
+	if !writable {
+		as.notify(start, end, InvalidateProtect)
+	}
+	for a := start; a < end; a += PageSize {
+		if p, ok := as.pages[a]; ok && p.present {
+			p.writable = writable
+		}
+	}
+	return nil
+}
+
+// Write copies data into the address space at addr, demand-faulting and
+// COW-breaking as needed (this is the application touching its buffer).
+func (as *AddressSpace) Write(addr Addr, data []byte) error {
+	off := 0
+	for off < len(data) {
+		a := addr + Addr(off)
+		page := PageAlignDown(a)
+		f, err := as.fault(page, true)
+		if err != nil {
+			return err
+		}
+		n := f.Write(int(a-page), data[off:])
+		off += n
+	}
+	return nil
+}
+
+// Read copies len(dst) bytes from the address space at addr into dst.
+func (as *AddressSpace) Read(addr Addr, dst []byte) error {
+	off := 0
+	for off < len(dst) {
+		a := addr + Addr(off)
+		page := PageAlignDown(a)
+		f, err := as.fault(page, false)
+		if err != nil {
+			return err
+		}
+		n := f.Read(int(a-page), dst[off:])
+		off += n
+	}
+	return nil
+}
+
+// FrameAt returns the current frame backing page-aligned address a, if
+// present. Used by invariant tests to detect stale device translations.
+func (as *AddressSpace) FrameAt(a Addr) (*Frame, bool) {
+	p, ok := as.pages[PageAlignDown(a)]
+	if !ok || !p.present {
+		return nil, false
+	}
+	return p.frame, true
+}
+
+// Migrate moves the frames of [addr, addr+length) to fresh frames, as NUMA
+// balancing or compaction would. Pinned pages are skipped — pinning exists
+// precisely to prevent this (paper §2.1). Notifiers fire per migrated page.
+// It returns the number of pages actually migrated.
+func (as *AddressSpace) Migrate(addr Addr, length int) (int, error) {
+	start := PageAlignDown(addr)
+	end := PageAlignUp(addr + Addr(length))
+	if !as.covered(start, end) {
+		return 0, ErrBadAddress
+	}
+	moved := 0
+	for a := start; a < end; a += PageSize {
+		p, ok := as.pages[a]
+		if !ok || !p.present {
+			continue
+		}
+		if p.frame.pinRefs > 0 {
+			continue // pinned: not migratable
+		}
+		as.notify(a, a+PageSize, InvalidateMigrate)
+		old := p.frame
+		f, err := as.phys.alloc()
+		if err != nil {
+			return moved, err
+		}
+		if old.data != nil {
+			f.data = old.data
+			old.data = nil
+		}
+		old.mapRefs--
+		if old.mapRefs == 0 && old.pinRefs == 0 {
+			as.phys.release(old)
+		}
+		p.frame = f
+		f.mapRefs++
+		moved++
+	}
+	return moved, nil
+}
+
+// SwapOut writes the pages of [addr, addr+length) to swap and frees their
+// frames. Pinned pages are skipped. It returns the number of pages swapped.
+func (as *AddressSpace) SwapOut(addr Addr, length int) (int, error) {
+	start := PageAlignDown(addr)
+	end := PageAlignUp(addr + Addr(length))
+	if !as.covered(start, end) {
+		return 0, ErrBadAddress
+	}
+	swapped := 0
+	for a := start; a < end; a += PageSize {
+		p, ok := as.pages[a]
+		if !ok || !p.present {
+			continue
+		}
+		if p.frame.pinRefs > 0 {
+			continue
+		}
+		as.notify(a, a+PageSize, InvalidateSwap)
+		old := p.frame
+		p.swapData = old.data
+		old.data = nil
+		old.mapRefs--
+		if old.mapRefs == 0 && old.pinRefs == 0 {
+			as.phys.release(old)
+		}
+		p.frame = nil
+		p.present = false
+		p.swapped = true
+		swapped++
+	}
+	return swapped, nil
+}
