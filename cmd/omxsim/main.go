@@ -1,107 +1,152 @@
-// Command omxsim is the umbrella runner: it regenerates the paper's entire
-// evaluation section in one invocation.
+// Command omxsim is the single entry point to the simulation: every
+// experiment — the paper's tables and figures, the lifecycle walkthroughs,
+// the fault-injection runs — is a registered scenario.
 //
 // Usage:
 //
-//	omxsim              # everything (Table 1, Figures 6+7, §4.3, Table 2, NPB)
-//	omxsim -quick       # reduced sweeps
-//	omxsim -only table1,fig7
+//	omxsim list                     # registered scenarios
+//	omxsim run <scenario>... [-policy lbl] [-seed N] [-quick] [-json]
+//	omxsim sweep [-quick] [-json]   # run every registered scenario
+//
+// Exit status is non-zero when any scenario assertion fails, so CI can
+// gate on `omxsim run`.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"strings"
+	"os"
 
-	"omxsim/internal/cpu"
-	"omxsim/internal/experiments"
-	"omxsim/internal/imb"
-	"omxsim/internal/npb"
+	"omxsim/internal/report"
+	"omxsim/internal/scenario"
 )
 
-func cpuSpec() cpu.Spec { return cpu.XeonE5460 }
+func usage() {
+	fmt.Fprintf(os.Stderr, `omxsim — Open-MX decoupled-pinning simulator
+
+Usage:
+  omxsim list                list registered scenarios
+  omxsim run <scenario>...   run one or more scenarios by name
+  omxsim sweep               run every registered scenario
+
+Flags for run/sweep:
+  -policy string   restrict the case matrix to one label or pin-policy name
+  -seed int        simulation seed (default 1)
+  -quick           reduced size schedules
+  -json            emit machine-readable JSON instead of tables
+`)
+	os.Exit(2)
+}
 
 func main() {
-	quick := flag.Bool("quick", false, "reduced size schedules")
-	only := flag.String("only", "", "comma-separated subset: table1,fig6,fig7,sec43,table2,npb")
-	flag.Parse()
-
-	want := map[string]bool{}
-	for _, s := range strings.Split(*only, ",") {
-		if s = strings.TrimSpace(strings.ToLower(s)); s != "" {
-			want[s] = true
-		}
+	if len(os.Args) < 2 {
+		usage()
 	}
-	sel := func(name string) bool { return len(want) == 0 || want[name] }
-
-	figSizes := imb.LargeSizes()
-	tblSizes := imb.DefaultSizes()
-	isClass := npb.ClassCSim
-	if *quick {
-		figSizes = []int{64 * 1024, 1 << 20, 16 << 20}
-		tblSizes = []int{4096, 256 * 1024, 4 << 20}
-		isClass = npb.ClassA
-	}
-
-	if sel("table1") {
-		fmt.Println("== Table 1: pin+unpin overhead per host ==")
-		fmt.Printf("%-14s %5s %9s %9s %7s\n", "Processor", "GHz", "Base µs", "ns/page", "GB/s")
-		for _, r := range experiments.Table1() {
-			fmt.Printf("%-14s %5.2f %9.1f %9.0f %7.1f\n", r.Host, r.GHz, r.BaseMicros, r.NsPerPage, r.GBps)
-		}
-		fmt.Println()
-	}
-	if sel("fig6") {
-		fmt.Println("== Figure 6: PingPong MiB/s, pin-per-comm vs permanent, ±I/OAT ==")
-		printCurves(experiments.Figure6(figSizes, cpuSpec()), figSizes)
-	}
-	if sel("fig7") {
-		fmt.Println("== Figure 7: PingPong MiB/s, regular/overlapped/cache/both ==")
-		printCurves(experiments.Figure7(figSizes, cpuSpec()), figSizes)
-	}
-	if sel("sec43") {
-		fmt.Println("== Section 4.3: overlap misses ==")
-		for _, r := range experiments.OverlapMissSection43() {
-			fmt.Printf("%-50s misses=%d/%d (rate %.2e) rereq=%d  %.1f MiB/s\n",
-				r.Label, r.OverlapMisses, r.PullReplies+r.OverlapMisses, r.MissRate, r.ReRequests, r.MBps)
-		}
-		fmt.Println()
-	}
-	if sel("table2") {
-		fmt.Println("== Table 2 (IMB): execution-time improvement vs regular pinning ==")
-		fmt.Printf("%-22s %14s %14s\n", "Application", "Pinning-cache", "Overlapping")
-		for _, r := range experiments.Table2IMB(tblSizes) {
-			fmt.Printf("%-22s %13.1f%% %13.1f%%\n", r.Application, r.CachePct, r.OverlappingPct)
-		}
-		fmt.Println()
-	}
-	if sel("npb") {
-		fmt.Println("== Table 2 (NPB IS) ==")
-		row, res := experiments.NPBIS(isClass)
-		fmt.Println(res)
-		fmt.Printf("%-22s %13.1f%% %13.1f%%\n", row.Application, row.CachePct, row.OverlappingPct)
+	switch os.Args[1] {
+	case "list":
+		list(os.Args[2:])
+	case "run":
+		run(os.Args[2:])
+	case "sweep":
+		sweep(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "omxsim: unknown command %q\n\n", os.Args[1])
+		usage()
 	}
 }
 
-func printCurves(curves []experiments.Curve, sizes []int) {
-	for i, c := range curves {
-		fmt.Printf("  curve%d = %s\n", i+1, c.Label)
-	}
-	fmt.Printf("%-10s", "size")
-	for i := range curves {
-		fmt.Printf("  %10s", fmt.Sprintf("curve%d", i+1))
-	}
-	fmt.Println()
-	for i, s := range sizes {
-		label := fmt.Sprintf("%dkB", s>>10)
-		if s >= 1<<20 {
-			label = fmt.Sprintf("%dMB", s>>20)
+func list(args []string) {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	fs.Parse(args)
+	scenarios := scenario.All()
+	wid := 0
+	for _, s := range scenarios {
+		if len(s.Name) > wid {
+			wid = len(s.Name)
 		}
-		fmt.Printf("%-10s", label)
-		for _, c := range curves {
-			fmt.Printf("  %10.1f", c.Points[i].MBps)
-		}
-		fmt.Println()
 	}
-	fmt.Println()
+	for _, s := range scenarios {
+		fmt.Printf("%-*s  %s\n", wid, s.Name, s.Description)
+	}
+}
+
+// runFlags parses the shared run/sweep flags. Scenario names and flags may
+// be interleaved freely (`run -json pingpong -quick`): the standard flag
+// package stops at the first positional argument, so parsing restarts
+// after peeling each name, with the shared variables keeping earlier flag
+// values.
+func runFlags(name string, args []string) (scenario.Options, bool, []string) {
+	opts := scenario.Options{Seed: 1}
+	jsonOut := false
+	var names []string
+	for {
+		fs := flag.NewFlagSet(name, flag.ExitOnError)
+		fs.StringVar(&opts.Policy, "policy", opts.Policy, "restrict the case matrix to one label or pin-policy name")
+		fs.Int64Var(&opts.Seed, "seed", opts.Seed, "simulation seed")
+		fs.BoolVar(&opts.Quick, "quick", opts.Quick, "reduced size schedules")
+		fs.BoolVar(&jsonOut, "json", jsonOut, "emit JSON instead of tables")
+		fs.Parse(args)
+		rest := fs.Args()
+		if len(rest) == 0 {
+			return opts, jsonOut, names
+		}
+		names = append(names, rest[0])
+		args = rest[1:]
+	}
+}
+
+func run(args []string) {
+	opts, jsonOut, names := runFlags("run", args)
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "omxsim run: no scenario given; `omxsim list` shows the registry")
+		os.Exit(2)
+	}
+	var results []*report.Result
+	for _, n := range names {
+		res, err := scenario.RunByName(n, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "omxsim: %v\n", err)
+			os.Exit(1)
+		}
+		results = append(results, res)
+	}
+	emit(results, jsonOut)
+}
+
+func sweep(args []string) {
+	opts, jsonOut, rest := runFlags("sweep", args)
+	if len(rest) > 0 {
+		fmt.Fprintf(os.Stderr, "omxsim sweep: unexpected arguments %v\n", rest)
+		os.Exit(2)
+	}
+	var results []*report.Result
+	for _, s := range scenario.All() {
+		res, err := s.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "omxsim: %v\n", err)
+			os.Exit(1)
+		}
+		results = append(results, res)
+	}
+	emit(results, jsonOut)
+}
+
+func emit(results []*report.Result, jsonOut bool) {
+	var err error
+	if jsonOut {
+		err = report.WriteJSON(os.Stdout, results...)
+	} else {
+		err = report.WriteText(os.Stdout, results...)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "omxsim: %v\n", err)
+		os.Exit(1)
+	}
+	for _, r := range results {
+		if r.Failed() {
+			os.Exit(1)
+		}
+	}
 }

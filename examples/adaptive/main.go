@@ -1,81 +1,31 @@
 // Adaptive: the paper's §5 proposal, live — "blocking operations benefit
 // more from overlapped pinning while overlap-aware applications may prefer
-// a simple model with lower overhead". With AdaptiveOverlap enabled, a
-// blocking MPI_Send overlaps its pin with the rendezvous round trip, while
-// MPI_Isend (whose caller overlaps communication with its own compute) pins
-// synchronously and stays out of the way.
+// a simple model with lower overhead". The case matrix crosses the
+// application pattern (blocking MPI_Send vs MPI_Isend+compute) with the
+// AdaptiveOverlap switch.
+//
+// The workload is the registered "adaptive" scenario; `omxsim run
+// adaptive` renders the same run.
 //
 //	go run ./examples/adaptive
 package main
 
 import (
 	"fmt"
-	"log"
+	"os"
 
-	"omxsim/internal/cluster"
-	"omxsim/internal/core"
-	"omxsim/internal/mpi"
-	"omxsim/internal/omx"
-	"omxsim/internal/sim"
+	"omxsim/internal/report"
+	"omxsim/internal/scenario"
 )
 
-// measure runs an app pattern and returns rank 0's elapsed time.
-func measure(adaptive bool, blockingApp bool) sim.Duration {
-	cfg := omx.DefaultConfig(core.Overlapped, false)
-	cfg.AdaptiveOverlap = adaptive
-	cl, err := cluster.New(cluster.Config{Nodes: 2, OMX: cfg})
-	if err != nil {
-		log.Fatal(err)
-	}
-	const n = 8 << 20
-	const iters = 6
-	var elapsed sim.Duration
-	cl.Run(func(c *mpi.Comm) {
-		buf := c.Malloc(n)
-		c.Barrier()
-		t0 := c.Now()
-		for i := 0; i < iters; i++ {
-			if c.Rank() == 0 {
-				if blockingApp {
-					// Blocking pattern: the app waits on the send, so
-					// overlapped pinning hides the pin inside the wait.
-					c.Send(buf, n, 1, 1)
-				} else {
-					// Overlap-aware pattern: the app computes while the
-					// transfer runs; it wants the CPU for itself.
-					req := c.Isend(buf, n, 1, 1)
-					c.Compute(2 * sim.Millisecond)
-					c.Wait(req)
-				}
-			} else {
-				st := c.Recv(buf, n, 0, 1)
-				_ = st
-			}
-		}
-		c.Barrier()
-		elapsed = c.Now() - t0
-	})
-	return elapsed
-}
-
 func main() {
-	fmt.Println("Adaptive per-request pinning policy (paper §5).")
-	fmt.Println()
-	for _, app := range []struct {
-		name     string
-		blocking bool
-	}{
-		{"blocking app (MPI_Send + wait)", true},
-		{"overlap-aware app (MPI_Isend + compute)", false},
-	} {
-		plain := measure(false, app.blocking)
-		adaptive := measure(true, app.blocking)
-		fmt.Printf("%-42s plain-overlapped=%-12v adaptive=%-12v (%+.1f%%)\n",
-			app.name, plain, adaptive,
-			(float64(plain)-float64(adaptive))/float64(plain)*100)
+	res, err := scenario.RunByName("adaptive", scenario.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	fmt.Println()
-	fmt.Println("Blocking traffic keeps the overlap either way; non-blocking traffic")
-	fmt.Println("pins synchronously under the adaptive policy, trading a little")
-	fmt.Println("latency for not competing with the application's own overlap.")
+	report.WriteText(os.Stdout, res)
+	if res.Failed() {
+		os.Exit(1)
+	}
 }

@@ -1,31 +1,30 @@
 // Overload: the paper's §4.3 failure mode, live. The application (and its
 // pinning work) shares a core with the NIC bottom halves; a synthetic
 // interrupt flood starves the pinning, incoming fragments outrun the pin
-// cursor and get dropped (overlap misses), and throughput collapses.
+// cursor, and throughput collapses.
+//
+// The sweep is the registered "overload" scenario; `omxsim run overload`
+// renders the same run (add -quick for the three-level sweep).
 //
 //	go run ./examples/overload
 package main
 
 import (
 	"fmt"
+	"os"
 
-	"omxsim/internal/experiments"
+	"omxsim/internal/report"
+	"omxsim/internal/scenario"
 )
 
 func main() {
-	fmt.Println("Overlapped pinning vs an interrupt-flooded core (paper §4.3).")
-	fmt.Println()
-	fmt.Printf("%-10s %-12s %12s %10s %12s %12s\n",
-		"flood", "app core", "replies", "misses", "miss rate", "goodput")
-	for _, r := range experiments.FloodSweep([]float64{0, 0.5, 0.8, 0.9, 0.95, 0.99}) {
-		where := "own core"
-		if r.AppOnRxCore {
-			where = "RX core"
-		}
-		fmt.Printf("%-10.2f %-12s %12d %10d %12.2e %9.1f MiB/s\n",
-			r.FloodUtilization, where, r.PullReplies, r.OverlapMisses, r.MissRate, r.MBps)
+	res, err := scenario.RunByName("overload", scenario.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	fmt.Println()
-	fmt.Println("The paper reports <1 miss per 10^4 packets under regular load, and")
-	fmt.Println("degradation from ~1 GB/s to ~50 MB/s when a single core is overloaded.")
+	report.WriteText(os.Stdout, res)
+	if res.Failed() {
+		os.Exit(1)
+	}
 }

@@ -1,68 +1,30 @@
 // Pincache: the full lifecycle of the paper's Figure 3 — malloc,
-// communicate (declare + pin), communicate again (cache hit, still pinned),
-// free (MMU notifier unpins, region stays declared), realloc the same
-// buffer, communicate (cache hit again, driver repins transparently).
+// communicate (declare + pin), communicate again (cache hit, still
+// pinned), free (MMU notifier unpins, region stays declared), realloc the
+// same buffer, communicate (cache hit again, driver repins transparently).
+//
+// The workload is the registered "pincache" scenario; `omxsim run
+// pincache` renders the same run.
 //
 //	go run ./examples/pincache
 package main
 
 import (
 	"fmt"
-	"log"
+	"os"
 
-	"omxsim/internal/cluster"
-	"omxsim/internal/core"
-	"omxsim/internal/mpi"
-	"omxsim/internal/omx"
+	"omxsim/internal/report"
+	"omxsim/internal/scenario"
 )
 
 func main() {
-	cl, err := cluster.New(cluster.Config{
-		Nodes: 2,
-		OMX:   omx.DefaultConfig(core.OnDemand, true),
-	})
+	res, err := scenario.RunByName("pincache", scenario.Options{})
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	const n = 2 << 20
-
-	report := func(label string, c *mpi.Comm) {
-		ep := cl.Endpoints[0]
-		m := ep.Manager().Stats()
-		cs := ep.Cache().Stats()
-		fmt.Printf("%-34s declares=%d pins=%d repins=%d invalidations=%d hits=%d misses=%d pinnedNow=%d\n",
-			label, m.Declares, m.PinOps, m.Repins, m.InvalidateHits,
-			cs.Hits, cs.Misses, ep.Manager().PinnedPages())
+	report.WriteText(os.Stdout, res)
+	if res.Failed() {
+		os.Exit(1)
 	}
-
-	cl.Run(func(c *mpi.Comm) {
-		if c.Rank() == 1 {
-			for i := 0; i < 3; i++ {
-				buf := c.Malloc(n)
-				c.Recv(buf, n, 0, 1)
-				c.Free(buf)
-			}
-			return
-		}
-		buf := c.Malloc(n)
-		c.Send(buf, n, 1, 1)
-		report("after first send (declare+pin):", c)
-		c.Send(buf, n, 1, 1)
-		report("after second send (cache hit):", c)
-
-		// Free fires the MMU notifier: the driver unpins, but the
-		// declaration survives in the cache.
-		c.Free(buf)
-		c.Compute(1000)
-		report("after free (notifier unpinned):", c)
-
-		// The allocator reuses the address, so the cache hits again and
-		// the driver repins on demand — user space never knew.
-		buf2 := c.Malloc(n)
-		if buf2 != buf {
-			fmt.Println("allocator did not reuse the address (unexpected)")
-		}
-		c.Send(buf2, n, 1, 1)
-		report("after realloc+send (repin):", c)
-	})
 }

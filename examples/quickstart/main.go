@@ -1,67 +1,30 @@
-// Quickstart: build a two-node simulated cluster, send one large message
-// through the Open-MX stack with the decoupled pinning cache, and print
-// what the driver did.
+// Quickstart: send one large message three times through the Open-MX
+// stack with the decoupled pinning cache and see what the driver did —
+// one declaration, one pin, then cache hits.
+//
+// The workload is the registered "quickstart" scenario: the same entry the
+// omxsim CLI runs (`omxsim run quickstart`), so this example carries no
+// cluster wiring of its own.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
 	"fmt"
-	"log"
+	"os"
 
-	"omxsim/internal/cluster"
-	"omxsim/internal/core"
-	"omxsim/internal/mpi"
-	"omxsim/internal/omx"
+	"omxsim/internal/report"
+	"omxsim/internal/scenario"
 )
 
 func main() {
-	// A cluster is two Xeon E5460 hosts on a 10G link by default — the
-	// paper's testbed. The OMX config selects the pinning model: here the
-	// decoupled on-demand policy with the user-space region cache
-	// (Figure 7's "Pinning Cache").
-	cl, err := cluster.New(cluster.Config{
-		Nodes: 2,
-		OMX:   omx.DefaultConfig(core.OnDemand, true),
-	})
+	res, err := scenario.RunByName("quickstart", scenario.Options{})
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-
-	const n = 4 << 20 // 4 MiB: well above the 32 KiB eager threshold
-	payload := make([]byte, n)
-	for i := range payload {
-		payload[i] = byte(i * 31)
-	}
-
-	// Each rank runs as a simulated process; Run drives the event loop
-	// until everyone finishes.
-	cl.Run(func(c *mpi.Comm) {
-		buf := c.Malloc(n)
-		switch c.Rank() {
-		case 0:
-			c.WriteBytes(buf, payload)
-			start := c.Now()
-			for i := 0; i < 3; i++ { // reuse the same buffer: cache hits
-				c.Send(buf, n, 1, 42)
-			}
-			fmt.Printf("rank 0: sent 3 x %d MiB in %v (simulated)\n", n>>20, c.Now()-start)
-		case 1:
-			for i := 0; i < 3; i++ {
-				st := c.Recv(buf, n, 0, 42)
-				got := c.ReadBytes(buf, 16)
-				fmt.Printf("rank 1: received %d bytes from rank %d, first bytes % x\n",
-					st.Len, st.Source, got[:8])
-			}
-		}
-	})
-
-	// Driver-side evidence of the decoupling: one declaration, one pin,
-	// then cache hits — no per-message pinning.
-	for rank, ep := range cl.Endpoints {
-		m := ep.Manager().Stats()
-		c := ep.Cache().Stats()
-		fmt.Printf("rank %d: declares=%d pins=%d cache hits/misses=%d/%d pinned pages now=%d\n",
-			rank, m.Declares, m.PinOps, c.Hits, c.Misses, ep.Manager().PinnedPages())
+	report.WriteText(os.Stdout, res)
+	if res.Failed() {
+		os.Exit(1)
 	}
 }

@@ -1,74 +1,31 @@
-// Rendezvous: trace the large-message pull protocol and watch overlapped
-// pinning race the wire — the paper's Figure 5 timeline, reconstructed from
-// a live run. The pin-progress cursor is sampled while the transfer runs,
-// for both the synchronous (Figure 2) and overlapped (Figure 5) models.
+// Rendezvous: one 8 MiB large-message pull under synchronous pinning
+// (the paper's Figure 2 timeline) and under overlapped pinning (Figure 5,
+// where the transfer starts immediately and pinning races the incoming
+// fragments).
+//
+// The workload is the registered "rendezvous" scenario; `omxsim run
+// rendezvous` renders the same run, and `-policy overlapped` selects one
+// side of the comparison.
 //
 //	go run ./examples/rendezvous
 package main
 
 import (
 	"fmt"
-	"log"
+	"os"
 
-	"omxsim/internal/cluster"
-	"omxsim/internal/core"
-	"omxsim/internal/mpi"
-	"omxsim/internal/omx"
-	"omxsim/internal/sim"
+	"omxsim/internal/report"
+	"omxsim/internal/scenario"
 )
 
-func run(policy core.PinPolicy) {
-	cl, err := cluster.New(cluster.Config{
-		Nodes: 2,
-		OMX:   omx.DefaultConfig(policy, false),
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	const n = 8 << 20
-
-	fmt.Printf("\n=== policy: %v ===\n", policy)
-	// Sample the receiver's pin cursor and received bytes every 200us.
-	recvEP := cl.Endpoints[1]
-	var samples []string
-	var sample func()
-	sample = func() {
-		mgr := recvEP.Manager()
-		st := cl.Nodes[1].Stats()
-		samples = append(samples, fmt.Sprintf("  t=%-10v pinned=%5d pages  frags received=%d",
-			cl.Eng.Now(), mgr.PinnedPages(), st.PullRepliesRx))
-		if cl.Eng.Now() < 4*sim.Millisecond {
-			cl.Eng.After(400*sim.Microsecond, sample)
-		}
-	}
-	cl.Eng.After(0, sample)
-
-	var elapsed sim.Duration
-	cl.Run(func(c *mpi.Comm) {
-		buf := c.Malloc(n)
-		if c.Rank() == 0 {
-			start := c.Now()
-			c.Send(buf, n, 1, 7)
-			elapsed = c.Now() - start
-		} else {
-			c.Recv(buf, n, 0, 7)
-		}
-	})
-
-	for _, s := range samples {
-		fmt.Println(s)
-	}
-	st := cl.Stats()
-	fmt.Printf("  transfer of %d MiB took %v  (%.0f MiB/s); overlap misses snd/rcv = %d/%d\n",
-		n>>20, elapsed, float64(n)/elapsed.Seconds()/(1<<20),
-		st.OverlapMissSender, st.OverlapMissReceiver)
-}
-
 func main() {
-	fmt.Println("Large-message rendezvous + pull, with the pin cursor sampled mid-flight.")
-	fmt.Println("Under PinEachComm the cursor jumps to full before data flows (Figure 2);")
-	fmt.Println("under Overlapped the transfer starts immediately and pinning races ahead")
-	fmt.Println("of the incoming fragments (Figure 5).")
-	run(core.PinEachComm)
-	run(core.Overlapped)
+	res, err := scenario.RunByName("rendezvous", scenario.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	report.WriteText(os.Stdout, res)
+	if res.Failed() {
+		os.Exit(1)
+	}
 }

@@ -43,6 +43,16 @@ type Config struct {
 	Seed int64
 	// LoopbackBytesPerSec bounds intra-node messaging (default 4 GB/s).
 	LoopbackBytesPerSec float64
+	// EndpointConfig, when non-nil, customises the OMX configuration per
+	// endpoint: it receives the node index, the global rank, and the base
+	// config (Config.OMX) and returns the config to open that endpoint
+	// with. Scenarios use it for heterogeneous pin-policy matrices (e.g.
+	// one rank overlapped, the peer pin-each-comm).
+	EndpointConfig func(node, rank int, base omx.Config) omx.Config
+	// OnBuild hooks run after the cluster is fully wired but before any
+	// workload starts. Scenario construction uses them to attach tracing
+	// or schedule fault-injection events against the finished topology.
+	OnBuild []func(*Cluster)
 }
 
 // Cluster is a fully wired simulation instance.
@@ -91,7 +101,11 @@ func New(cfg Config) (*Cluster, error) {
 			if cfg.AppsOnRxCore {
 				coreIdx = cfg.RxCoreIdx
 			}
-			ep, err := node.OpenEndpoint(r, coreIdx, cfg.OMX)
+			omxCfg := cfg.OMX
+			if cfg.EndpointConfig != nil {
+				omxCfg = cfg.EndpointConfig(n, n*cfg.RanksPerNode+r, omxCfg)
+			}
+			ep, err := node.OpenEndpoint(r, coreIdx, omxCfg)
 			if err != nil {
 				return nil, fmt.Errorf("cluster: node %d rank %d: %w", n, r, err)
 			}
@@ -99,6 +113,9 @@ func New(cfg Config) (*Cluster, error) {
 		}
 	}
 	cl.World = mpi.NewWorld(eng, cl.Endpoints)
+	for _, hook := range cfg.OnBuild {
+		hook(cl)
+	}
 	return cl, nil
 }
 

@@ -381,7 +381,16 @@ func (m *Manager) startUnpin(r *Region) {
 	r.epoch++ // cancel in-flight pin chunks
 	cost := m.spec.UnpinCost(pages)
 	m.core.Submit(cpu.Kernel, cost, func() {
-		_ = epoch
+		// The region may have moved on while the unpin cost was queued: an
+		// MMU-notifier invalidation already dropped the pins (advancing the
+		// epoch past the one this unpin established) and a later Acquire
+		// started a fresh pin, or a new communication re-acquired the
+		// still-pinned region. Unpinning in either case would drop pins a
+		// live request depends on — and the epoch bump in unpinNow would
+		// cancel the in-flight repin chunks, wedging their waiters forever.
+		if r.epoch != epoch+1 || r.useCount > 0 {
+			return
+		}
 		m.unpinNow(r)
 	})
 }

@@ -29,11 +29,11 @@ import (
 // driver path (declare/acquire/release on a simulated core), not computed
 // from the spec.
 type Table1Row struct {
-	Host       string
-	GHz        float64
-	BaseMicros float64 // pin+unpin base overhead, µs
-	NsPerPage  float64 // pin+unpin marginal cost per page
-	GBps       float64 // pinning throughput, pagesize/perpage
+	Host       string  `json:"host"`
+	GHz        float64 `json:"ghz"`
+	BaseMicros float64 `json:"base_us"`     // pin+unpin base overhead, µs
+	NsPerPage  float64 `json:"ns_per_page"` // pin+unpin marginal cost per page
+	GBps       float64 `json:"pin_gbps"`    // pinning throughput, pagesize/perpage
 }
 
 // Table1 measures pin+unpin cost on each of the paper's hosts by pinning
@@ -91,15 +91,15 @@ func measurePinUnpin(spec cpu.Spec, pages int) sim.Duration {
 
 // CurvePoint is one (message size, throughput) sample of a PingPong curve.
 type CurvePoint struct {
-	Size int
-	MBps float64
+	Size int     `json:"size"`
+	MBps float64 `json:"mbps"`
 }
 
 // Curve is one labelled line of Figure 6 or 7.
 type Curve struct {
-	Label  string
-	Config omx.Config
-	Points []CurvePoint
+	Label  string       `json:"label"`
+	Config omx.Config   `json:"-"`
+	Points []CurvePoint `json:"points"`
 }
 
 // pingPongCurve measures IMB PingPong throughput across sizes under cfg.
@@ -164,9 +164,9 @@ func Figure7(sizes []int, spec cpu.Spec) []Curve {
 // Table2Row is one benchmark's execution-time improvement relative to the
 // regular-pinning baseline, as in the paper's Table 2.
 type Table2Row struct {
-	Application    string
-	CachePct       float64 // improvement with the pinning cache
-	OverlappingPct float64 // improvement with overlapped pinning
+	Application    string  `json:"application"`
+	CachePct       float64 `json:"cache_pct"`   // improvement with the pinning cache
+	OverlappingPct float64 `json:"overlap_pct"` // improvement with overlapped pinning
 }
 
 // table2Configs returns (baseline, cache, overlap) configurations.

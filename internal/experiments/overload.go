@@ -13,22 +13,23 @@ import (
 // OverlapMissResult reports the §4.3 counters: how often a packet arrived
 // before its target pages were pinned, and the throughput that resulted.
 type OverlapMissResult struct {
-	Label string
+	Label string `json:"label"`
 	// FloodUtilization is the synthetic bottom-half load applied to the
 	// application/pinning core (0 = normal operation).
-	FloodUtilization float64
-	AppOnRxCore      bool
-	PullReplies      uint64
-	OverlapMisses    uint64 // receiver + sender side
-	MissRate         float64
-	ReRequests       uint64
-	MBps             float64
+	FloodUtilization float64 `json:"flood_utilization"`
+	AppOnRxCore      bool    `json:"app_on_rx_core"`
+	PullReplies      uint64  `json:"pull_replies"`
+	OverlapMisses    uint64  `json:"overlap_misses"` // receiver + sender side
+	MissRate         float64 `json:"miss_rate"`
+	ReRequests       uint64  `json:"rereqs"`
+	MBps             float64 `json:"mbps"`
 }
 
-// startFlood submits synthetic bottom-half work on c at the target
+// StartFlood submits synthetic bottom-half work on c at the target
 // utilization, modelling a core saturated by incoming-network interrupt
 // processing (10G of small packets, paper §4.3). Returns a stop function.
-func startFlood(eng *sim.Engine, c *cpu.Core, utilization float64) func() {
+// The scenario runner's flood fault injector reuses it.
+func StartFlood(eng *sim.Engine, c *cpu.Core, utilization float64) func() {
 	const quantum = 10 * sim.Microsecond
 	stopped := false
 	var tick func()
@@ -58,7 +59,7 @@ func OverlapMiss(label string, flood float64, appOnRxCore bool, iters int) Overl
 	var stops []func()
 	if flood > 0 {
 		for _, n := range cl.Nodes {
-			stops = append(stops, startFlood(cl.Eng, n.RxCore(), flood))
+			stops = append(stops, StartFlood(cl.Eng, n.RxCore(), flood))
 		}
 	}
 	const size = 1 << 20
@@ -118,11 +119,18 @@ func buildOverlapResult(label string, flood float64, appOnRxCore bool, st omx.No
 const DefaultOverloadFlood = 0.95
 
 // OverlapMissSection43 runs the two §4.3 data points: normal load and the
-// overloaded single core.
-func OverlapMissSection43() []OverlapMissResult {
+// overloaded single core. Iteration counts of 0 select the defaults
+// (30 normal / 10 overloaded); smaller counts make quick runs.
+func OverlapMissSection43(itersNormal, itersOverload int) []OverlapMissResult {
+	if itersNormal <= 0 {
+		itersNormal = 30
+	}
+	if itersOverload <= 0 {
+		itersOverload = 10
+	}
 	return []OverlapMissResult{
-		OverlapMiss("normal load (app on own core)", 0, false, 30),
-		OverlapMiss("overloaded core (app on RX core, interrupt flood)", DefaultOverloadFlood, true, 10),
+		OverlapMiss("normal load (app on own core)", 0, false, itersNormal),
+		OverlapMiss("overloaded core (app on RX core, interrupt flood)", DefaultOverloadFlood, true, itersOverload),
 	}
 }
 

@@ -1,0 +1,109 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sample() *Result {
+	r := &Result{Scenario: "pingpong", Description: "demo", Seed: 7, Passed: true}
+	r.Param("sizes", "3")
+	t := Table{Title: "throughput", Columns: []string{"size", "regular", "overlapped"}}
+	t.AddRow(Bytes(1<<20), F(812.5, 1), F(934.0, 1))
+	t.AddRow(Bytes(16<<20), F(901.2, 1), F(1100.4, 1))
+	r.AddTable(t)
+	r.Cases = append(r.Cases, Case{
+		Label: "regular", Size: 1 << 20, Policy: "pin-each-comm",
+		Metrics: map[string]float64{"mbps": 812.5},
+	})
+	r.Assertions = append(r.Assertions, Assertion{Name: "mbps > 0", Passed: true})
+	return r
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if back.Scenario != "pingpong" || back.Seed != 7 || !back.Passed {
+		t.Fatalf("round trip lost fields: %+v", back)
+	}
+	if len(back.Tables) != 1 || len(back.Tables[0].Rows) != 2 {
+		t.Fatalf("tables lost: %+v", back.Tables)
+	}
+	if back.Cases[0].Metrics["mbps"] != 812.5 {
+		t.Fatalf("case metrics lost: %+v", back.Cases)
+	}
+}
+
+func TestWriteJSONMultipleIsArray(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, sample(), sample()); err != nil {
+		t.Fatal(err)
+	}
+	var back []Result
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("multi-result output is not a JSON array: %v", err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("got %d results, want 2", len(back))
+	}
+}
+
+func TestWriteTextAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteText(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== pingpong (seed 7) ==", "params: sizes=3", "throughput", "[PASS] mbps > 0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Every numeric column must be right-aligned: the header cell and the
+	// data cells of column 2 end at the same rune offset.
+	var lines []string
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "regular") && !strings.Contains(l, "label") {
+			lines = append(lines, l)
+		}
+	}
+	if len(lines) == 0 {
+		t.Fatalf("no table lines found:\n%s", out)
+	}
+	hdr := strings.Index(lines[0], "regular") + len("regular")
+	data := strings.Index(out, "812.5") + len("812.5")
+	dataLine := ""
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "812.5") {
+			dataLine = l
+		}
+	}
+	if dataLine == "" || strings.Index(dataLine, "812.5")+len("812.5") != hdr {
+		t.Fatalf("column not right-aligned (hdr end %d, data end %d):\n%s", hdr, data, out)
+	}
+}
+
+func TestFailedAndFormatters(t *testing.T) {
+	r := sample()
+	if r.Failed() {
+		t.Fatal("all-pass result reported Failed")
+	}
+	r.Assertions = append(r.Assertions, Assertion{Name: "x", Passed: false, Detail: "boom"})
+	if !r.Failed() {
+		t.Fatal("failing assertion not reported")
+	}
+	if Bytes(4096) != "4kB" || Bytes(16<<20) != "16MB" || Bytes(100) != "100B" {
+		t.Fatalf("Bytes formatting: %s %s %s", Bytes(4096), Bytes(16<<20), Bytes(100))
+	}
+	if Pct(12.34) != "12.3%" || D(42) != "42" || E(0.0001) != "1.00e-04" {
+		t.Fatalf("formatters: %s %s %s", Pct(12.34), D(42), E(0.0001))
+	}
+}

@@ -1,0 +1,91 @@
+package scenario
+
+import "fmt"
+
+// Assertion is one named predicate over a finished Run.
+type Assertion struct {
+	Name  string
+	Check func(run *Run) (ok bool, detail string)
+}
+
+// EachCase builds an assertion that must hold on every case cell; the first
+// failing cell is reported.
+func EachCase(name string, check func(cr *CaseRun) (bool, string)) Assertion {
+	return Assertion{Name: name, Check: func(run *Run) (bool, string) {
+		for _, cr := range run.Cases {
+			if ok, detail := check(cr); !ok {
+				return false, fmt.Sprintf("%s: %s", cr.id(), detail)
+			}
+		}
+		return true, ""
+	}}
+}
+
+// AnyCase builds an assertion satisfied by at least one case cell.
+func AnyCase(name string, check func(cr *CaseRun) (bool, string)) Assertion {
+	return Assertion{Name: name, Check: func(run *Run) (bool, string) {
+		var last string
+		for _, cr := range run.Cases {
+			ok, detail := check(cr)
+			if ok {
+				return true, ""
+			}
+			last = fmt.Sprintf("%s: %s", cr.id(), detail)
+		}
+		return false, last
+	}}
+}
+
+// MetricAtLeast asserts metric >= min in every case.
+func MetricAtLeast(metric string, min float64) Assertion {
+	return EachCase(fmt.Sprintf("%s >= %g", metric, min), func(cr *CaseRun) (bool, string) {
+		v, ok := cr.Metrics[metric]
+		if !ok {
+			return false, fmt.Sprintf("metric %q not recorded", metric)
+		}
+		if v < min {
+			return false, fmt.Sprintf("%s = %g < %g", metric, v, min)
+		}
+		return true, ""
+	})
+}
+
+// MetricPositive asserts metric > 0 in every case.
+func MetricPositive(metric string) Assertion {
+	a := EachCase(fmt.Sprintf("%s > 0", metric), func(cr *CaseRun) (bool, string) {
+		v, ok := cr.Metrics[metric]
+		if !ok {
+			return false, fmt.Sprintf("metric %q not recorded", metric)
+		}
+		if v <= 0 {
+			return false, fmt.Sprintf("%s = %g", metric, v)
+		}
+		return true, ""
+	})
+	return a
+}
+
+// MetricBelow asserts metric < max in every case.
+func MetricBelow(metric string, max float64) Assertion {
+	return EachCase(fmt.Sprintf("%s < %g", metric, max), func(cr *CaseRun) (bool, string) {
+		v, ok := cr.Metrics[metric]
+		if !ok {
+			return false, fmt.Sprintf("metric %q not recorded", metric)
+		}
+		if v >= max {
+			return false, fmt.Sprintf("%s = %g >= %g", metric, v, max)
+		}
+		return true, ""
+	})
+}
+
+// Completed asserts every case ran all ranks to completion (no budget
+// expiry).
+func Completed() Assertion {
+	return EachCase("all ranks completed", func(cr *CaseRun) (bool, string) {
+		if !cr.Completed {
+			return false, "budget expired with ranks still blocked"
+		}
+		return true, ""
+	})
+}

@@ -1,0 +1,72 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"omxsim/internal/report"
+)
+
+var registry = make(map[string]*Scenario)
+
+// Register adds a scenario to the package registry. It rejects empty or
+// duplicate names and scenarios with neither a Workload nor a Custom
+// runner.
+func Register(s *Scenario) error {
+	if s == nil || s.Name == "" {
+		return fmt.Errorf("scenario: missing name")
+	}
+	if _, dup := registry[s.Name]; dup {
+		return fmt.Errorf("scenario: duplicate name %q", s.Name)
+	}
+	if s.Workload == nil && s.Custom == nil {
+		return fmt.Errorf("scenario %q: neither Workload nor Custom set", s.Name)
+	}
+	registry[s.Name] = s
+	return nil
+}
+
+// MustRegister is Register for init-time use; registration errors are
+// programming errors.
+func MustRegister(s *Scenario) {
+	if err := Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// unregister removes a scenario (tests only).
+func unregister(name string) { delete(registry, name) }
+
+// Get looks a scenario up by name.
+func Get(name string) (*Scenario, bool) {
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names returns every registered scenario name, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns every registered scenario, sorted by name.
+func All() []*Scenario {
+	var out []*Scenario
+	for _, n := range Names() {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// RunByName resolves and runs a registered scenario.
+func RunByName(name string, opts Options) (*report.Result, error) {
+	s, ok := Get(name)
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown scenario %q (omxsim list shows the registry)", name)
+	}
+	return s.Run(opts)
+}

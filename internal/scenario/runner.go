@@ -1,0 +1,367 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"omxsim/internal/cluster"
+	"omxsim/internal/core"
+	"omxsim/internal/experiments"
+	"omxsim/internal/mpi"
+	"omxsim/internal/omx"
+	"omxsim/internal/report"
+	"omxsim/internal/sim"
+)
+
+// floodCap bounds a flood fault with For == 0 in a scenario without a
+// budget, so the event queue is guaranteed to drain.
+const floodCap = sim.Second
+
+// faultRetry is the poll interval while a buffer-targeted fault waits for
+// the workload to register its target.
+const faultRetry = 50 * sim.Microsecond
+
+// Run executes the scenario and returns its structured result. The same
+// (scenario, Options) pair always produces an identical Result: the
+// simulation is deterministic and the report carries no wall-clock state.
+func (s *Scenario) Run(opts Options) (*report.Result, error) {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	res := &report.Result{Scenario: s.Name, Description: s.Description, Seed: opts.Seed}
+	run := &Run{Scenario: s, Opts: opts, Result: res}
+
+	var err error
+	if s.Custom != nil {
+		// Custom scenarios delegate to the experiments sweeps, which build
+		// their own clusters with the default seed and run their full
+		// config matrix — refuse the options they cannot honour rather
+		// than misreport them.
+		if opts.Policy != "" {
+			return nil, fmt.Errorf("scenario %s: -policy is not supported (custom experiment sweep)", s.Name)
+		}
+		if opts.Seed != 1 {
+			opts.Seed, run.Opts.Seed, res.Seed = 1, 1, 1
+			res.Note("custom experiment sweeps use the default seed; -seed ignored")
+		}
+		err = s.Custom(run)
+	} else {
+		err = s.runDeclarative(run)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+
+	for _, cr := range run.Cases {
+		res.Cases = append(res.Cases, report.Case{
+			Label:   cr.id(),
+			Size:    cr.Size,
+			Policy:  cr.PolicyName,
+			Metrics: cr.Metrics,
+			Notes:   cr.Notes,
+		})
+	}
+	for _, a := range s.Assertions {
+		ok, detail := a.Check(run)
+		res.Assertions = append(res.Assertions, report.Assertion{Name: a.Name, Passed: ok, Detail: detail})
+	}
+	res.Passed = !res.Failed()
+	return res, nil
+}
+
+// cases resolves the case matrix after the -policy filter.
+func (s *Scenario) cases(opts Options) ([]Case, error) {
+	cases := s.Cases
+	if len(cases) == 0 {
+		cases = []Case{{Label: "cache", OMX: omx.DefaultConfig(core.OnDemand, true)}}
+	}
+	if opts.Policy == "" {
+		return cases, nil
+	}
+	var kept []Case
+	var labels []string
+	for _, c := range cases {
+		labels = append(labels, c.Label)
+		if strings.EqualFold(c.Label, opts.Policy) || strings.EqualFold(c.OMX.Policy.String(), opts.Policy) {
+			kept = append(kept, c)
+		}
+	}
+	if len(kept) == 0 {
+		return nil, fmt.Errorf("no case matches -policy %q (cases: %s)", opts.Policy, strings.Join(labels, ", "))
+	}
+	return kept, nil
+}
+
+// sizeSchedule resolves the sweep points (a single zero-size point when the
+// scenario has no sweep).
+func (s *Scenario) sizeSchedule(opts Options) []int {
+	sizes := s.Sizes
+	if opts.Quick && len(s.QuickSizes) > 0 {
+		sizes = s.QuickSizes
+	}
+	if len(sizes) == 0 {
+		return []int{0}
+	}
+	return sizes
+}
+
+func (s *Scenario) runDeclarative(run *Run) error {
+	cases, err := s.cases(run.Opts)
+	if err != nil {
+		return err
+	}
+	sizes := s.sizeSchedule(run.Opts)
+	if len(s.Sizes) > 0 {
+		run.Result.Param("sizes", sizeList(sizes))
+	}
+	for _, c := range cases {
+		for _, size := range sizes {
+			cr, err := s.runCell(run, c, size)
+			if err != nil {
+				return err
+			}
+			run.Cases = append(run.Cases, cr)
+		}
+	}
+	s.buildTables(run, cases, sizes)
+	return nil
+}
+
+// runCell builds one cluster, injects the faults, drives the workload, and
+// collects the statistics.
+func (s *Scenario) runCell(run *Run, c Case, size int) (*CaseRun, error) {
+	cr := &CaseRun{
+		Case:       c,
+		Size:       size,
+		PolicyName: c.OMX.Policy.String(),
+		Metrics:    make(map[string]float64),
+		buffers:    make(map[string]bufRef),
+	}
+	cfg := s.Cluster
+	cfg.OMX = c.OMX
+	cfg.Seed = run.Opts.Seed
+	if c.Tweak != nil {
+		c.Tweak(&cfg)
+	}
+	// Fault events arm through the cluster's OnBuild hook, composing with
+	// any hooks the scenario or case tweak installed.
+	cfg.OnBuild = append(cfg.OnBuild, func(cl *cluster.Cluster) {
+		for _, f := range s.Faults {
+			scheduleFault(cl, cr, f, s.Budget)
+		}
+	})
+	cl, err := cluster.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("case %s: %w", cr.id(), err)
+	}
+	cr.Cluster = cl
+	body := func(mc *mpi.Comm) { s.Workload(mc, cr) }
+	if s.Budget > 0 {
+		cr.Completed = cl.RunFor(s.Budget, body)
+	} else {
+		cl.Run(body)
+		cr.Completed = true
+	}
+	collectStats(cr)
+	return cr, nil
+}
+
+// scheduleFault arms one fault event on the cluster's engine.
+func scheduleFault(cl *cluster.Cluster, cr *CaseRun, f Fault, budget sim.Duration) {
+	eng := cl.Eng
+	var fire func()
+	fire = func() {
+		switch f.Kind {
+		case FaultFlood:
+			stops := make([]func(), 0, len(cl.Nodes))
+			for _, n := range cl.Nodes {
+				stops = append(stops, experiments.StartFlood(eng, n.RxCore(), f.Util))
+			}
+			window := f.For
+			if window == 0 && budget == 0 {
+				window = floodCap
+			}
+			stopAll := func() {
+				for _, stop := range stops {
+					stop()
+				}
+			}
+			if window > 0 {
+				eng.After(window, stopAll)
+			}
+			cr.Note("t=%v: flood util=%.2f window=%v", eng.Now(), f.Util, window)
+		case FaultFork:
+			if f.Rank >= len(cl.Endpoints) {
+				cr.Note("t=%v: fork fault: no rank %d", eng.Now(), f.Rank)
+				return
+			}
+			as := cl.Endpoints[f.Rank].AS
+			if _, err := as.Fork(9000 + f.Rank); err != nil {
+				cr.Note("t=%v: fork fault on rank %d failed: %v", eng.Now(), f.Rank, err)
+				return
+			}
+			cr.Note("t=%v: forked rank %d address space (COW)", eng.Now(), f.Rank)
+		case FaultFree, FaultSwapOut:
+			if f.Rank >= len(cl.Endpoints) {
+				cr.Note("t=%v: %v fault: no rank %d", eng.Now(), f.Kind, f.Rank)
+				return
+			}
+			addr, size, ok := cr.Buffer(f.Rank, f.Buffer)
+			if !ok {
+				// The workload has not registered the target yet; poll
+				// until it does or the run ends.
+				if !cl.World.AllDone() {
+					eng.After(faultRetry, fire)
+				} else {
+					cr.Note("t=%v: %v fault never fired: buffer %d/%s was never registered",
+						eng.Now(), f.Kind, f.Rank, f.Buffer)
+				}
+				return
+			}
+			ep := cl.Endpoints[f.Rank]
+			if f.Kind == FaultFree {
+				if err := ep.Free(addr); err != nil {
+					cr.Note("t=%v: free fault on %d/%s failed: %v", eng.Now(), f.Rank, f.Buffer, err)
+					return
+				}
+				cr.Note("t=%v: freed %d/%s (%s)", eng.Now(), f.Rank, f.Buffer, report.Bytes(size))
+			} else {
+				n, err := ep.AS.SwapOut(addr, size)
+				if err != nil {
+					cr.Note("t=%v: swapout fault on %d/%s failed: %v", eng.Now(), f.Rank, f.Buffer, err)
+					return
+				}
+				cr.Note("t=%v: swapped out %d pages of %d/%s", eng.Now(), n, f.Rank, f.Buffer)
+			}
+		}
+	}
+	eng.After(f.At, fire)
+}
+
+// collectStats folds the cluster's protocol counters and every endpoint's
+// manager/cache counters into "stats."-prefixed metrics.
+func collectStats(cr *CaseRun) {
+	cl := cr.Cluster
+	st := cl.Stats()
+	set := cr.Metric
+	set("stats.elapsed_us", cl.Eng.Now().Micros())
+	set("stats.frames_rx", float64(st.FramesRx))
+	set("stats.pull_replies", float64(st.PullRepliesRx))
+	set("stats.overlap_misses", float64(st.OverlapMissSender+st.OverlapMissReceiver))
+	set("stats.rereqs", float64(st.ReRequests))
+	set("stats.retransmits", float64(st.Retransmits))
+
+	var mgr core.Stats
+	var cache core.CacheStats
+	pinnedNow := 0
+	for _, ep := range cl.Endpoints {
+		m := ep.Manager().Stats()
+		mgr.Declares += m.Declares
+		mgr.PinOps += m.PinOps
+		mgr.UnpinOps += m.UnpinOps
+		mgr.Repins += m.Repins
+		mgr.InvalidateHits += m.InvalidateHits
+		mgr.LRUUnpins += m.LRUUnpins
+		mgr.PinFailures += m.PinFailures
+		c := ep.Cache().Stats()
+		cache.Hits += c.Hits
+		cache.Misses += c.Misses
+		pinnedNow += ep.Manager().PinnedPages()
+	}
+	set("stats.declares", float64(mgr.Declares))
+	set("stats.pin_ops", float64(mgr.PinOps))
+	set("stats.unpin_ops", float64(mgr.UnpinOps))
+	set("stats.repins", float64(mgr.Repins))
+	set("stats.invalidate_hits", float64(mgr.InvalidateHits))
+	set("stats.lru_unpins", float64(mgr.LRUUnpins))
+	set("stats.pin_failures", float64(mgr.PinFailures))
+	set("stats.cache_hits", float64(cache.Hits))
+	set("stats.cache_misses", float64(cache.Misses))
+	set("stats.pinned_pages_end", float64(pinnedNow))
+}
+
+// buildTables renders the automatic tables: the size × case matrix of the
+// primary metric for sweep scenarios, and a per-case summary of every
+// workload-recorded (non-"stats.") metric.
+func (s *Scenario) buildTables(run *Run, cases []Case, sizes []int) {
+	cell := func(label string, size int) *CaseRun {
+		for _, cr := range run.Cases {
+			if cr.Case.Label == label && cr.Size == size {
+				return cr
+			}
+		}
+		return nil
+	}
+	if s.Metric != "" && len(sizes) > 1 {
+		t := report.Table{
+			Title:   fmt.Sprintf("%s by message size", s.Metric),
+			Columns: append([]string{"size"}, caseLabels(cases)...),
+		}
+		for _, size := range sizes {
+			row := []string{report.Bytes(size)}
+			for _, c := range cases {
+				if cr := cell(c.Label, size); cr != nil {
+					row = append(row, report.F(cr.Metrics[s.Metric], 1))
+				} else {
+					row = append(row, "-")
+				}
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		run.Result.AddTable(t)
+		return
+	}
+
+	names := workloadMetricNames(run.Cases)
+	if len(names) == 0 {
+		return
+	}
+	t := report.Table{Title: "results", Columns: append([]string{"case"}, names...)}
+	for _, cr := range run.Cases {
+		row := []string{cr.id()}
+		for _, n := range names {
+			if v, ok := cr.Metrics[n]; ok {
+				row = append(row, report.F(v, 1))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	run.Result.AddTable(t)
+}
+
+// workloadMetricNames is the sorted union of non-"stats." metric names.
+func workloadMetricNames(cases []*CaseRun) []string {
+	seen := make(map[string]bool)
+	for _, cr := range cases {
+		for n := range cr.Metrics {
+			if !strings.HasPrefix(n, "stats.") {
+				seen[n] = true
+			}
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func caseLabels(cases []Case) []string {
+	out := make([]string, len(cases))
+	for i, c := range cases {
+		out[i] = c.Label
+	}
+	return out
+}
+
+func sizeList(sizes []int) string {
+	parts := make([]string, len(sizes))
+	for i, s := range sizes {
+		parts[i] = report.Bytes(s)
+	}
+	return strings.Join(parts, ",")
+}

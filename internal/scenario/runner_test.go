@@ -1,0 +1,86 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+
+	"omxsim/internal/report"
+)
+
+// TestDeterministicForFixedSeed: the same scenario and seed must serialise
+// to byte-identical JSON (the report carries no wall-clock state and the
+// simulation is deterministic).
+func TestDeterministicForFixedSeed(t *testing.T) {
+	runOnce := func() []byte {
+		res, err := RunByName("pincache", Options{Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := report.WriteJSON(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := runOnce(), runOnce()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed produced different results:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+}
+
+// TestFaultInjectionInvalidateHits runs the registered fault-injection
+// scenario and checks the injected free really fired MMU notifiers into
+// declared regions.
+func TestFaultInjectionInvalidateHits(t *testing.T) {
+	res, err := RunByName("faults", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cases) == 0 {
+		t.Fatal("no cases recorded")
+	}
+	for _, c := range res.Cases {
+		if hits := c.Metrics["stats.invalidate_hits"]; hits < 1 {
+			t.Errorf("case %s: InvalidateHits = %g, want >= 1 (notes: %v)", c.Label, hits, c.Notes)
+		}
+	}
+	if !res.Passed {
+		t.Fatalf("faults scenario failed its assertions: %+v", res.Assertions)
+	}
+}
+
+// TestQuickstartScenario smoke-checks the default-case declarative path:
+// one declaration and one pin per side, cache hits afterwards.
+func TestQuickstartScenario(t *testing.T) {
+	res, err := RunByName("quickstart", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed {
+		t.Fatalf("quickstart failed: %+v", res.Assertions)
+	}
+	c := res.Cases[0]
+	if c.Metrics["stats.pin_ops"] > c.Metrics["stats.declares"]+1 {
+		t.Fatalf("pinning not decoupled: pins=%g declares=%g", c.Metrics["stats.pin_ops"], c.Metrics["stats.declares"])
+	}
+}
+
+// TestSweepTableShape: size-sweep scenarios render the size × case matrix
+// of the primary metric.
+func TestSweepTableShape(t *testing.T) {
+	res, err := RunByName("mixed-policy", Options{Quick: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cases) != 3 {
+		t.Fatalf("expected 3 cases (one per policy at one quick size), got %d", len(res.Cases))
+	}
+	if !res.Passed {
+		t.Fatalf("mixed-policy failed: %+v", res.Assertions)
+	}
+	for _, c := range res.Cases {
+		if c.Metrics["mbps"] <= 0 {
+			t.Fatalf("case %s: no throughput recorded", c.Label)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Package scenario turns experiments into data. A Scenario declares a
+// cluster shape, a matrix of pinning-policy cases, an optional message-size
+// sweep, a per-rank workload, fault-injection events at simulated times,
+// and assertions over the collected statistics; the Runner builds one
+// cluster per (case, size) cell, schedules the faults, drives the
+// simulation, and emits a structured report.Result. The package-level
+// registry is what the omxsim CLI lists and runs — adding a workload is a
+// table entry, not a new binary.
+package scenario
+
+import (
+	"fmt"
+
+	"omxsim/internal/cluster"
+	"omxsim/internal/mpi"
+	"omxsim/internal/omx"
+	"omxsim/internal/report"
+	"omxsim/internal/sim"
+	"omxsim/internal/vm"
+)
+
+// Options are the per-invocation knobs the CLI exposes.
+type Options struct {
+	// Seed drives the deterministic simulation (0 = 1, the default seed).
+	Seed int64
+	// Policy restricts the case matrix to cases whose label or pin-policy
+	// name matches ("" = run every case).
+	Policy string
+	// Quick selects the reduced size schedule (QuickSizes) and tells
+	// Custom scenarios to shrink their sweeps.
+	Quick bool
+}
+
+// Case is one cell of a scenario's pin-policy matrix.
+type Case struct {
+	// Label names the case in tables and -policy filters.
+	Label string
+	// OMX is the per-endpoint Open-MX configuration for this case.
+	OMX omx.Config
+	// Params carries free-form case parameters the workload can branch on
+	// (e.g. blocking vs overlap-aware application patterns).
+	Params map[string]string
+	// Tweak, when non-nil, mutates the cluster config for this case
+	// (AppsOnRxCore, per-rank EndpointConfig, link overrides, ...).
+	Tweak func(*cluster.Config)
+}
+
+// FaultKind enumerates the built-in fault injectors.
+type FaultKind int
+
+const (
+	// FaultFree munmaps a workload-registered buffer: the MMU notifier
+	// unpins any overlapping region mid-communication (paper §2.1's
+	// "free may unmap the buffer").
+	FaultFree FaultKind = iota
+	// FaultFork forks the target rank's address space copy-on-write, the
+	// paper's other invalidation source. Pinned pages are copied eagerly
+	// (as Linux does for elevated GUP counts), so only unpinned pages of
+	// declared regions see COW notifications.
+	FaultFork
+	// FaultSwapOut pushes a registered buffer's unpinned pages to swap,
+	// firing swap notifiers (madvise/reclaim-style pressure).
+	FaultSwapOut
+	// FaultFlood saturates every node's interrupt core with synthetic
+	// bottom-half work for a window — the §4.3 overload generator.
+	FaultFlood
+)
+
+// String names the fault kind for notes and tables.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultFree:
+		return "free"
+	case FaultFork:
+		return "fork"
+	case FaultSwapOut:
+		return "swapout"
+	case FaultFlood:
+		return "flood"
+	default:
+		return fmt.Sprintf("fault(%d)", int(k))
+	}
+}
+
+// Fault is one injected event at a simulated time. Buffer-targeted faults
+// wait (polling the registry) until the workload has registered the named
+// buffer, so declaration order does not matter.
+type Fault struct {
+	// At is the injection time, measured from simulation start.
+	At sim.Duration
+	// Kind selects the injector.
+	Kind FaultKind
+	// Rank is the target rank for Free/Fork/SwapOut.
+	Rank int
+	// Buffer names the workload-registered buffer for Free/SwapOut.
+	Buffer string
+	// Util is the bottom-half utilization for Flood (0..1).
+	Util float64
+	// For bounds a flood window; 0 floods until the run ends (or the
+	// runner's hard cap when the scenario has no budget).
+	For sim.Duration
+}
+
+// Workload runs on every rank of the cluster; it records metrics and
+// registers fault-target buffers through the CaseRun.
+type Workload func(c *mpi.Comm, cr *CaseRun)
+
+// Scenario is one declaratively-described experiment.
+type Scenario struct {
+	// Name is the registry key (omxsim run <name>).
+	Name string
+	// Description is one line for omxsim list and report headers.
+	Description string
+	// Cluster is the base cluster shape; the runner fills OMX and Seed per
+	// case and applies Case.Tweak.
+	Cluster cluster.Config
+	// Cases is the pin-policy matrix (nil = one default on-demand+cache
+	// case).
+	Cases []Case
+	// Sizes is an optional message-size sweep: the workload runs once per
+	// (case, size) in a fresh cluster, reading the size from the CaseRun.
+	Sizes []int
+	// QuickSizes replaces Sizes under Options.Quick (nil = keep Sizes).
+	QuickSizes []int
+	// Workload is the per-rank body (ignored when Custom is set).
+	Workload Workload
+	// Faults are injected into every case's run.
+	Faults []Fault
+	// Budget stops the simulation after this much simulated time even if
+	// ranks are still blocked (saturation scenarios); 0 runs to
+	// completion.
+	Budget sim.Duration
+	// Metric names the primary workload metric; with a size sweep the
+	// runner renders the size × case matrix table from it.
+	Metric string
+	// Assertions are evaluated over the finished Run.
+	Assertions []Assertion
+	// Custom replaces the declarative runner entirely for workloads that
+	// do not fit the cluster+workload mold (e.g. the Table 1 pin-cost
+	// micro-benchmark); it fills the Run's cases and tables itself.
+	Custom func(run *Run) error
+}
+
+// Run is the in-flight state of one scenario invocation: every case cell
+// plus the report being assembled.
+type Run struct {
+	Scenario *Scenario
+	Opts     Options
+	Result   *report.Result
+	Cases    []*CaseRun
+}
+
+// AddCase appends a case record (Custom scenarios build their matrix this
+// way; the declarative runner calls it internally).
+func (run *Run) AddCase(label string) *CaseRun {
+	cr := &CaseRun{
+		Case:    Case{Label: label},
+		Metrics: make(map[string]float64),
+		buffers: make(map[string]bufRef),
+	}
+	run.Cases = append(run.Cases, cr)
+	return cr
+}
+
+// CaseRun is one (case, size) cell: the live cluster while running, and
+// the collected measurements afterwards.
+type CaseRun struct {
+	Case Case
+	// Size is the sweep point (0 when the scenario has no size sweep).
+	Size int
+	// Cluster is the live cluster (nil for Custom scenarios that bypass
+	// the declarative runner).
+	Cluster *cluster.Cluster
+	// PolicyName labels the pinning policy in reports.
+	PolicyName string
+	// Metrics holds workload measurements plus the runner's automatic
+	// "stats."-prefixed counters.
+	Metrics map[string]float64
+	// Completed is false when the budget expired with ranks still
+	// blocked.
+	Completed bool
+	// Notes records fault outcomes and anomalies.
+	Notes []string
+
+	buffers map[string]bufRef
+}
+
+type bufRef struct {
+	addr vm.Addr
+	size int
+}
+
+// Metric records a measurement (rank 0 usually writes these; the engine is
+// single-threaded so no locking is needed).
+func (cr *CaseRun) Metric(name string, v float64) { cr.Metrics[name] = v }
+
+// Param reads a case parameter ("" when absent).
+func (cr *CaseRun) Param(key string) string { return cr.Case.Params[key] }
+
+// Note appends a free-form remark to the case record.
+func (cr *CaseRun) Note(format string, args ...any) {
+	cr.Notes = append(cr.Notes, fmt.Sprintf(format, args...))
+}
+
+// RegisterBuffer publishes a rank's buffer under a name so fault events can
+// target it.
+func (cr *CaseRun) RegisterBuffer(rank int, name string, addr vm.Addr, size int) {
+	cr.buffers[bufKey(rank, name)] = bufRef{addr: addr, size: size}
+}
+
+// Buffer looks up a registered buffer.
+func (cr *CaseRun) Buffer(rank int, name string) (vm.Addr, int, bool) {
+	b, ok := cr.buffers[bufKey(rank, name)]
+	return b.addr, b.size, ok
+}
+
+func bufKey(rank int, name string) string { return fmt.Sprintf("%d/%s", rank, name) }
+
+// id labels the cell in assertion failure details.
+func (cr *CaseRun) id() string {
+	if cr.Size > 0 {
+		return fmt.Sprintf("%s/%s", cr.Case.Label, report.Bytes(cr.Size))
+	}
+	return cr.Case.Label
+}
