@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"testing"
 
+	"omxsim/internal/bench"
 	"omxsim/internal/cluster"
 	"omxsim/internal/core"
 	"omxsim/internal/cpu"
@@ -28,6 +29,7 @@ import (
 	"omxsim/internal/mpi"
 	"omxsim/internal/npb"
 	"omxsim/internal/omx"
+	"omxsim/internal/sim"
 )
 
 // BenchmarkTable1PinOverhead measures the pin+unpin cost per host through
@@ -288,6 +290,65 @@ func pingPongHost(b *testing.B, cfg omx.Config, spec cpu.Spec, size int) float64
 		}
 	})
 	return mbps
+}
+
+// BenchmarkEngineOverhead puts the simulator's own dispatch speed on the
+// benchmark trajectory: raw event throughput (events/sec) and allocations
+// per scheduled event across the three queue tiers — the zero-delay fast
+// path, the timer wheel, and the far-future overflow heap. The cell bodies
+// live in internal/bench, shared with `omxsim bench`.
+func BenchmarkEngineOverhead(b *testing.B) {
+	b.Run("After0", func(b *testing.B) {
+		// Zero-delay schedule+fire: the fast-path ring with pooled events.
+		b.ReportAllocs()
+		bench.EngineAfter0Cell(b.N)
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+	})
+	b.Run("TimerWheel", func(b *testing.B) {
+		// Timed events across all wheel levels (150ns..20ms, the delays the
+		// protocol stack actually uses).
+		b.ReportAllocs()
+		bench.EngineTimerWheelCell(b.N)
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+	})
+	b.Run("TimerCancel", func(b *testing.B) {
+		// The timer-heavy protocol pattern: arm a coarse timeout, cancel it
+		// before it fires (retransmit timers almost never expire).
+		eng := sim.NewEngine(1)
+		fn := func() {}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ev := eng.After(20_000_000, fn)
+			eng.After(100, fn)
+			ev.Cancel()
+			eng.Step()
+		}
+		b.ReportMetric(float64(2*b.N)/b.Elapsed().Seconds(), "events/sec")
+	})
+}
+
+// BenchmarkSimWallClock is the meta-benchmark the perf acceptance gate
+// tracks: one full Figure 7 OverlappedCache 4 MiB PingPong cell per
+// iteration (body shared with `omxsim bench` via internal/bench), reporting
+// host ns per simulated µs (how much real time the simulator burns per unit
+// of simulated time) and events/sec alongside the model's MiB/s.
+func BenchmarkSimWallClock(b *testing.B) {
+	b.ReportAllocs()
+	var mbps, nsPerSimUs, eventsPerSec float64
+	for i := 0; i < b.N; i++ {
+		m, simUs, events := bench.SimWallClockCell()
+		mbps = m
+		if simUs > 0 {
+			nsPerSimUs = b.Elapsed().Seconds() * 1e9 / float64(b.N) / simUs
+		}
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			eventsPerSec = float64(events) * float64(b.N) / secs
+		}
+	}
+	b.ReportMetric(mbps, "MiB/s")
+	b.ReportMetric(nsPerSimUs, "ns/sim-us")
+	b.ReportMetric(eventsPerSec, "events/sec")
 }
 
 func sizeName(s int) string {

@@ -7,6 +7,7 @@
 //	omxsim list                     # registered scenarios
 //	omxsim run <scenario>... [-policy lbl] [-seed N] [-quick] [-json]
 //	omxsim sweep [-quick] [-json]   # run every registered scenario
+//	omxsim bench [-quick] [-pr N] [-out FILE]  # simulator meta-benchmarks
 //
 // Exit status is non-zero when any scenario assertion fails, so CI can
 // gate on `omxsim run`.
@@ -16,7 +17,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
+	"omxsim/internal/bench"
 	"omxsim/internal/report"
 	"omxsim/internal/scenario"
 )
@@ -28,12 +32,19 @@ Usage:
   omxsim list                list registered scenarios
   omxsim run <scenario>...   run one or more scenarios by name
   omxsim sweep               run every registered scenario
+  omxsim bench               run the simulator meta-benchmark suite and
+                             write BENCH_PR<N>.json (ns/op + metrics)
 
 Flags for run/sweep:
   -policy string   restrict the case matrix to one label or pin-policy name
   -seed int        simulation seed (default 1)
   -quick           reduced size schedules
   -json            emit machine-readable JSON instead of tables
+
+Flags for bench:
+  -quick           short measurement windows (CI profile)
+  -pr int          PR number in the output filename (default: from CHANGES.md)
+  -out string      output path (default BENCH_PR<pr>.json; "-" for stdout)
 `)
 	os.Exit(2)
 }
@@ -49,6 +60,8 @@ func main() {
 		run(os.Args[2:])
 	case "sweep":
 		sweep(os.Args[2:])
+	case "bench":
+		benchCmd(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
@@ -131,6 +144,75 @@ func sweep(args []string) {
 		results = append(results, res)
 	}
 	emit(results, jsonOut)
+}
+
+// benchCmd runs the meta-benchmark suite and writes the JSON artifact CI
+// uploads, printing a short human summary to stderr.
+func benchCmd(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "short measurement windows (CI profile)")
+	pr := fs.Int("pr", 0, "PR number used in the output filename (default: inferred from CHANGES.md)")
+	out := fs.String("out", "", `output path (default BENCH_PR<pr>.json; "-" for stdout)`)
+	fs.Parse(args)
+	if *pr == 0 {
+		*pr = inferPRNumber()
+	}
+
+	rep := bench.Run(*pr, *quick)
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_PR%d.json", *pr)
+	}
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "omxsim bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rep.WriteJSON(w); err != nil {
+		fmt.Fprintf(os.Stderr, "omxsim bench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, r := range rep.Benchmarks {
+		fmt.Fprintf(os.Stderr, "%-20s %12.0f ns/op  %8.0f allocs/op", r.Name, r.NsPerOp, r.AllocsPerOp)
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(os.Stderr, "  %s=%.1f", k, r.Metrics[k])
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+	if rep.SpeedupVsBaseline > 0 {
+		fmt.Fprintf(os.Stderr, "SimWallClock speedup vs %s baseline (%s): %.2fx\n",
+			rep.Baseline.Commit, rep.Baseline.Name, rep.SpeedupVsBaseline)
+	}
+}
+
+// inferPRNumber reads CHANGES.md (one line per PR, each starting
+// "- PR <n>:", with the in-flight PR's entry appended before it lands) and
+// returns the highest recorded number. Returns 0 when nothing is readable,
+// leaving the artifact named BENCH_PR0.json as an explicit signal.
+func inferPRNumber() int {
+	data, err := os.ReadFile("CHANGES.md")
+	if err != nil {
+		return 0
+	}
+	max := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(line), "- PR %d:", &n); err == nil && n > max {
+			max = n
+		}
+	}
+	return max
 }
 
 func emit(results []*report.Result, jsonOut bool) {

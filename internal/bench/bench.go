@@ -1,0 +1,215 @@
+// Package bench runs the simulator meta-benchmark suite outside `go test`,
+// so CI (and `omxsim bench`) can track simulator speed itself — ns per
+// simulated µs, events/sec, allocations — as part of the benchmark
+// trajectory, writing machine-readable BENCH_PR<N>.json artifacts.
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+
+	"omxsim/internal/cluster"
+	"omxsim/internal/core"
+	"omxsim/internal/imb"
+	"omxsim/internal/mpi"
+	"omxsim/internal/omx"
+	"omxsim/internal/sim"
+)
+
+// Baseline pins the pre-optimization reference the acceptance gate compares
+// against: the meta-benchmark cell measured at the PR 2 base commit, before
+// the event-engine/zero-copy/batched-range work.
+type Baseline struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+	Commit  string  `json:"commit"`
+}
+
+// PR2Baseline is BenchmarkSimWallClock (the full Figure 7 OverlappedCache
+// 4 MiB PingPong cell) measured at commit 7395822 on the CI reference
+// machine class (Xeon @ 2.10GHz): 70.26 ms/op, 87.75 MB and 154266 allocs
+// per op.
+var PR2Baseline = Baseline{
+	Name:    "SimWallClock",
+	NsPerOp: 70_256_977,
+	Commit:  "7395822",
+}
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the BENCH_PR<N>.json document.
+type Report struct {
+	PR                int      `json:"pr"`
+	GoOS              string   `json:"goos"`
+	GoArch            string   `json:"goarch"`
+	Baseline          Baseline `json:"baseline"`
+	SpeedupVsBaseline float64  `json:"speedup_vs_baseline"`
+	Benchmarks        []Result `json:"benchmarks"`
+}
+
+// measure runs body repeatedly until minWall elapses (at least minIters
+// times) and returns per-op statistics. metrics receives the last run's
+// reported values.
+func measure(name string, minIters int, minWall time.Duration, body func(metrics map[string]float64)) Result {
+	metrics := make(map[string]float64)
+	body(metrics) // warmup, excluded from timing
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	iters := 0
+	for time.Since(start) < minWall || iters < minIters {
+		body(metrics)
+		iters++
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	return Result{
+		Name:        name,
+		Iterations:  iters,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+		BytesPerOp:  float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(iters),
+		AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(iters),
+		Metrics:     metrics,
+	}
+}
+
+// SimWallClockCell runs the acceptance-gate cell once — Figure 7
+// OverlappedCache, 4 MiB PingPong — and returns the model throughput, the
+// simulated time covered, and the events dispatched. BenchmarkSimWallClock
+// and `omxsim bench` share this body so the gate benchmark and the JSON
+// artifact can never measure different cells.
+func SimWallClockCell() (mbps, simMicros float64, events uint64) {
+	cl, err := cluster.New(cluster.Config{Nodes: 2, OMX: omx.DefaultConfig(core.Overlapped, true)})
+	if err != nil {
+		panic(err)
+	}
+	cl.Run(func(c *mpi.Comm) {
+		r := imb.PingPong(c, 4<<20, imb.Iterations(4<<20))
+		if c.Rank() == 0 {
+			mbps = r.MBps
+		}
+	})
+	return mbps, cl.Eng.Now().Micros(), cl.Eng.EventsFired()
+}
+
+// EngineAfter0Cell performs n zero-delay schedule+fire round trips on a
+// fresh engine (the fast-path microbenchmark body).
+func EngineAfter0Cell(n int) {
+	eng := sim.NewEngine(1)
+	fn := func() {}
+	for i := 0; i < n; i++ {
+		eng.After(0, fn)
+		eng.Step()
+	}
+}
+
+// TimerWheelDelays are the timed-scheduling delays the wheel microbenchmark
+// cycles through — the delays the protocol stack actually uses, spanning
+// every wheel level.
+var TimerWheelDelays = []sim.Duration{150, 5000, 65_000, 2_000_000, 20_000_000}
+
+// EngineTimerWheelCell performs n timed schedule+fire round trips across
+// the wheel levels.
+func EngineTimerWheelCell(n int) {
+	eng := sim.NewEngine(1)
+	fn := func() {}
+	for i := 0; i < n; i++ {
+		eng.After(TimerWheelDelays[i%len(TimerWheelDelays)], fn)
+		eng.Step()
+	}
+}
+
+// simWallClock adapts SimWallClockCell to the suite's metric map.
+func simWallClock(metrics map[string]float64) {
+	start := time.Now()
+	mbps, simMicros, events := SimWallClockCell()
+	wall := time.Since(start)
+	metrics["MiB/s"] = mbps
+	if simMicros > 0 {
+		metrics["ns/sim-us"] = float64(wall.Nanoseconds()) / simMicros
+	}
+	if s := wall.Seconds(); s > 0 {
+		metrics["events/sec"] = float64(events) / s
+	}
+}
+
+// engineAfter0 measures the zero-delay fast path in isolation.
+func engineAfter0(metrics map[string]float64) {
+	const n = 2_000_000
+	start := time.Now()
+	EngineAfter0Cell(n)
+	metrics["events/sec"] = n / time.Since(start).Seconds()
+}
+
+// engineTimerWheel measures timed scheduling across the wheel levels.
+func engineTimerWheel(metrics map[string]float64) {
+	const n = 500_000
+	start := time.Now()
+	EngineTimerWheelCell(n)
+	metrics["events/sec"] = n / time.Since(start).Seconds()
+}
+
+// figure7Cell runs one extra trajectory cell (Regular policy) so the JSON
+// tracks the unoptimized-policy path too.
+func figure7Regular(metrics map[string]float64) {
+	cl, err := cluster.New(cluster.Config{Nodes: 2, OMX: omx.DefaultConfig(core.PinEachComm, false)})
+	if err != nil {
+		panic(err)
+	}
+	var mbps float64
+	cl.Run(func(c *mpi.Comm) {
+		r := imb.PingPong(c, 1<<20, imb.Iterations(1<<20))
+		if c.Rank() == 0 {
+			mbps = r.MBps
+		}
+	})
+	metrics["MiB/s"] = mbps
+}
+
+// Run executes the suite. quick shortens the measurement windows (for CI);
+// the acceptance-relevant numbers are identical in shape.
+func Run(pr int, quick bool) Report {
+	minWall := 3 * time.Second
+	minIters := 10
+	if quick {
+		minWall = 500 * time.Millisecond
+		minIters = 3
+	}
+	results := []Result{
+		measure("SimWallClock", minIters, minWall, simWallClock),
+		measure("EngineAfter0", 1, minWall/4, engineAfter0),
+		measure("EngineTimerWheel", 1, minWall/4, engineTimerWheel),
+		measure("Figure7Regular1MB", minIters, minWall/2, figure7Regular),
+	}
+	rep := Report{
+		PR:         pr,
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		Baseline:   PR2Baseline,
+		Benchmarks: results,
+	}
+	for _, r := range results {
+		if r.Name == rep.Baseline.Name && r.NsPerOp > 0 {
+			rep.SpeedupVsBaseline = rep.Baseline.NsPerOp / r.NsPerOp
+		}
+	}
+	return rep
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -315,9 +315,7 @@ func (m *Manager) startPin(r *Region) {
 			}
 			sp := &r.segPin[segIdx]
 			sp.handles = append(sp.handles, h)
-			for i := 0; i < n; i++ {
-				sp.frames = append(sp.frames, h.Frame(i))
-			}
+			sp.frames = append(sp.frames, h.Frames()...)
 			r.pinnedPages += n
 			m.pinnedTotal += n
 			m.stats.PagesPinned += uint64(n)

@@ -285,6 +285,42 @@ func (r *Region) access(off, length int, fn func(f *vm.Frame, frameOff, n, done 
 	return nil
 }
 
+// ReadBufAt returns a zero-copy (copy-on-reference) view of length bytes at
+// region byte offset off, through the pinned frames. This is the device-side
+// read the sender's pull path uses: O(pages) references instead of O(bytes)
+// copies; see vm.Buf for the snapshot semantics. The range must be Ready.
+func (r *Region) ReadBufAt(off, length int) (vm.Buf, error) {
+	var b vm.Buf
+	if r.noPin {
+		// NIC-MMU model: translate through the live page table; the copy is
+		// part of the model, so materialize.
+		dst := make([]byte, length)
+		if err := r.virtAccess(off, length, func(a vm.Addr, bb []byte) error {
+			return r.as.Read(a, bb)
+		}, dst); err != nil {
+			return b, err
+		}
+		return vm.BufOf(dst), nil
+	}
+	err := r.access(off, length, func(f *vm.Frame, fo, n, done int) {
+		b.AppendFrame(f, fo, n)
+	})
+	return b, err
+}
+
+// WriteBufAt writes a zero-copy view into the region at byte offset off,
+// adopting whole-page chunks by reference (the receive-side analogue of
+// ReadBufAt). The range must be Ready.
+func (r *Region) WriteBufAt(off int, b *vm.Buf) error {
+	if r.noPin {
+		return r.WriteAt(off, b.Bytes())
+	}
+	w := vm.NewBufWriter(b)
+	return r.access(off, b.Len(), func(f *vm.Frame, fo, n, done int) {
+		w.WriteTo(f, fo, n)
+	})
+}
+
 // ReadAt copies length bytes at region byte offset off into dst, through
 // the pinned frames (device-side access: no page-table walk). The range
 // must be Ready. NoPinning regions translate through the live page table

@@ -147,6 +147,12 @@ type Core struct {
 	busy   bool
 	seq    uint64
 
+	// running is the item currently executing; finish is the pre-bound
+	// completion callback scheduled for it (bound once so dispatching does
+	// not allocate a closure per work item).
+	running workItem
+	finish  func()
+
 	// accounting
 	busyTime  [numPriorities]sim.Duration
 	completed [numPriorities]uint64
@@ -227,20 +233,32 @@ func (c *Core) dispatch() {
 			continue
 		}
 		item := c.queues[prio][0]
+		c.queues[prio][0] = workItem{}
 		c.queues[prio] = c.queues[prio][1:]
 		c.busy = true
-		c.eng.After(item.dur, func() {
-			c.busy = false
-			c.busyTime[item.prio] += item.dur
-			c.completed[item.prio]++
-			if item.fn != nil {
-				item.fn()
-			}
-			if !c.busy { // fn may have submitted and triggered dispatch
-				c.dispatch()
-			}
-		})
+		c.running = item
+		if c.finish == nil {
+			c.finish = c.finishItem
+		}
+		c.eng.After(item.dur, c.finish)
 		return
+	}
+}
+
+// finishItem completes the running work item: it accounts the time, runs
+// the item's callback, and dispatches the next item. Exactly one item runs
+// at a time, so the running slot is safe to reuse.
+func (c *Core) finishItem() {
+	item := c.running
+	c.running = workItem{}
+	c.busy = false
+	c.busyTime[item.prio] += item.dur
+	c.completed[item.prio]++
+	if item.fn != nil {
+		item.fn()
+	}
+	if !c.busy { // fn may have submitted and triggered dispatch
+		c.dispatch()
 	}
 }
 

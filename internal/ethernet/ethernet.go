@@ -60,8 +60,12 @@ type NIC struct {
 	// TxOverhead is host-side per-frame send cost charged on the wire
 	// schedule (descriptor ring, DMA setup). It serializes with frames.
 	txOverhead sim.Duration
-	fabric     *Fabric
-	handler    func(*Frame)
+	// rxDelay is additional latency between a frame finishing on the wire
+	// and the handler running (IRQ signalling + NAPI scheduling). Folding it
+	// into the delivery event spares the receiver one timer per frame.
+	rxDelay sim.Duration
+	fabric  *Fabric
+	handler func(*Frame)
 
 	txBusyUntil sim.Time
 
@@ -94,6 +98,13 @@ func (n *NIC) Dropped() uint64 { return n.dropped }
 
 // SetHandler installs the RX interrupt handler.
 func (n *NIC) SetHandler(h func(*Frame)) { n.handler = h }
+
+// SetRxDelay sets the latency between wire arrival and handler invocation
+// (IRQ + NAPI pipeline latency; pure delay, no core time).
+func (n *NIC) SetRxDelay(d sim.Duration) { n.rxDelay = d }
+
+// RxDelay returns the configured interrupt pipeline latency.
+func (n *NIC) RxDelay() sim.Duration { return n.rxDelay }
 
 // Fabric is a set of NICs with a link between every pair (and a loopback
 // path within a node). Every inter-node pair shares the LinkConfig given at
@@ -191,7 +202,7 @@ func (n *NIC) Send(fr *Frame) {
 		n.dropped++
 		return
 	}
-	n.eng.At(end+n.fabric.cfg.PropDelay, func() {
+	n.eng.At(end+n.fabric.cfg.PropDelay+dst.rxDelay, func() {
 		dst.rxFrames++
 		dst.rxBytes += uint64(fr.Size)
 		if dst.handler != nil {

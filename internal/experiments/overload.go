@@ -32,16 +32,22 @@ type OverlapMissResult struct {
 func StartFlood(eng *sim.Engine, c *cpu.Core, utilization float64) func() {
 	const quantum = 10 * sim.Microsecond
 	stopped := false
+	var pending *sim.Event
 	var tick func()
 	tick = func() {
 		if stopped {
 			return
 		}
 		c.Submit(cpu.BottomHalf, sim.Duration(float64(quantum)*utilization), nil)
-		eng.After(quantum, tick)
+		pending = eng.After(quantum, tick)
 	}
 	eng.After(0, tick)
-	return func() { stopped = true }
+	return func() {
+		stopped = true
+		// Cancel the armed timer so a stopped flood leaves no pending event
+		// behind (Cancel is O(1) on every queue tier).
+		pending.Cancel()
+	}
 }
 
 // OverlapMiss runs a 1 MiB PingPong under overlapped pinning, optionally

@@ -26,15 +26,30 @@ const DefaultBytesPerSec = 1.6e9
 // engine; it is exported so the driver and tests agree on the constant.
 const SetupCost = 150 * sim.Nanosecond
 
-// Engine is one I/OAT DMA channel.
+// Engine is one I/OAT DMA channel. Queued copies are tracked in a FIFO
+// with a single in-flight completion event (the head's), so a deep queue
+// costs the simulator one pending event instead of one per descriptor.
 type Engine struct {
 	eng         *sim.Engine
 	bytesPerSec float64
 	busyUntil   sim.Time
 
+	queue    []copyReq
+	inFlight bool
+	complete func() // pre-bound head-completion callback
+
 	copies    uint64
 	bytes     uint64
 	busyTotal sim.Duration
+}
+
+// copyReq is one queued descriptor.
+type copyReq struct {
+	size int
+	dur  sim.Duration
+	end  sim.Time
+	move func()
+	done func()
 }
 
 // New returns an engine with the given bandwidth (0 selects
@@ -72,15 +87,41 @@ func (d *Engine) SubmitCopy(size int, move func(), done func()) {
 	}
 	end := start + dur
 	d.busyUntil = end
-	d.eng.At(end, func() {
-		d.copies++
-		d.bytes += uint64(size)
-		d.busyTotal += dur
-		if move != nil {
-			move()
-		}
-		if done != nil {
-			done()
-		}
-	})
+	d.queue = append(d.queue, copyReq{size: size, dur: dur, end: end, move: move, done: done})
+	if !d.inFlight {
+		d.armHead()
+	}
+}
+
+// armHead schedules the completion event for the queue head.
+func (d *Engine) armHead() {
+	if d.complete == nil {
+		d.complete = d.completeHead
+	}
+	d.inFlight = true
+	d.eng.At(d.queue[0].end, d.complete)
+}
+
+// completeHead retires the head descriptor and arms the next one.
+func (d *Engine) completeHead() {
+	req := d.queue[0]
+	d.queue[0] = copyReq{}
+	d.queue = d.queue[1:]
+	if len(d.queue) == 0 {
+		// Reclaim the drained backing array so the queue slice can grow
+		// from the start again.
+		d.queue = nil
+		d.inFlight = false
+	} else {
+		d.armHead()
+	}
+	d.copies++
+	d.bytes += uint64(req.size)
+	d.busyTotal += req.dur
+	if req.move != nil {
+		req.move()
+	}
+	if req.done != nil {
+		req.done()
+	}
 }

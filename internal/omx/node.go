@@ -41,13 +41,23 @@ type Node struct {
 	endpoints map[int]*Endpoint
 	stats     NodeStats
 
-	// IntrDelay is the latency between a frame landing in the NIC ring and
+	// intrDelay is the latency between a frame landing in the NIC ring and
 	// its bottom half being runnable (IRQ signalling + NAPI scheduling).
 	// It is pure pipeline latency — it does not consume core time — and is
 	// the dominant term in Open-MX's 10-20us rendezvous round trip
-	// (paper §3.3 footnote 2).
-	IntrDelay sim.Duration
+	// (paper §3.3 footnote 2). It is applied by the NIC at frame delivery
+	// (one event per frame instead of two); use SetIntrDelay to change it.
+	intrDelay sim.Duration
 }
+
+// SetIntrDelay changes the IRQ/NAPI pipeline latency for this node's NIC.
+func (n *Node) SetIntrDelay(d sim.Duration) {
+	n.intrDelay = d
+	n.NIC.SetRxDelay(d)
+}
+
+// IntrDelay returns the node's IRQ/NAPI pipeline latency.
+func (n *Node) IntrDelay() sim.Duration { return n.intrDelay }
 
 // DefaultIntrDelay places the simulated rendezvous round trip in the
 // paper's 10-20us window.
@@ -65,10 +75,10 @@ func NewNode(eng *sim.Engine, fabric *ethernet.Fabric, spec cpu.Spec, id, rxCore
 		NIC:       fabric.AddNIC(id, 0),
 		IOAT:      ioat.New(eng, 0),
 		endpoints: make(map[int]*Endpoint),
-		IntrDelay: DefaultIntrDelay,
 	}
 	n.rxCore = n.Machine.Core(rxCoreIdx)
 	n.NIC.SetHandler(n.onFrame)
+	n.SetIntrDelay(DefaultIntrDelay)
 	return n
 }
 
@@ -124,10 +134,8 @@ func (n *Node) onFrame(fr *ethernet.Frame) {
 	if !ok {
 		return // stale frame for a closed endpoint: dropped
 	}
-	payload := fr.Payload
-	if n.IntrDelay > 0 {
-		n.Eng.After(n.IntrDelay, func() { ep.dispatchBH(payload) })
-		return
-	}
-	ep.dispatchBH(payload)
+	// The IRQ/NAPI pipeline latency was already applied by the NIC's
+	// delivery event (SetIntrDelay wires it into the fabric), so the bottom
+	// half can be queued directly.
+	ep.dispatchBH(fr.Payload)
 }

@@ -154,8 +154,11 @@ func (ep *Endpoint) startPull(rs *rstate, req *Request) {
 	})
 }
 
-// issueBlocks keeps the pull window full.
+// issueBlocks keeps the pull window full. All blocks issued at once ride a
+// single request frame — the per-window burst — so filling a window costs
+// one wire event instead of one per block.
 func (ep *Endpoint) issueBlocks(rs *rstate) {
+	var burst []pullRange
 	for rs.outstanding < ep.cfg.PullWindow && rs.nextBlockOff < len(rs.blocks) {
 		b := &rs.blocks[rs.nextBlockOff]
 		rs.nextBlockOff++
@@ -163,8 +166,11 @@ func (ep *Endpoint) issueBlocks(rs *rstate) {
 		b.lastReq = ep.node.Eng.Now()
 		ep.node.stats.PullReqsRx++ // counted at issue for simplicity
 		ep.emit(trace.PullReqSent, rs.key.seq, b.off, b.length)
+		burst = append(burst, pullRange{off: b.off, length: b.length})
+	}
+	if len(burst) > 0 {
 		ep.node.send(rs.key.src.Node, 0, &pullReq{
-			src: ep.addr, dst: rs.key.src, seq: rs.key.seq, off: b.off, length: b.length,
+			src: ep.addr, dst: rs.key.src, seq: rs.key.seq, blocks: burst,
 		})
 	}
 	rs.lastProgress = ep.node.Eng.Now()
@@ -177,7 +183,8 @@ func (ep *Endpoint) reRequestBlock(rs *rstate, b *blockState) {
 	ep.node.stats.ReRequests++
 	ep.emit(trace.ReRequest, rs.key.seq, b.off, b.length)
 	ep.node.send(rs.key.src.Node, 0, &pullReq{
-		src: ep.addr, dst: rs.key.src, seq: rs.key.seq, off: b.off, length: b.length,
+		src: ep.addr, dst: rs.key.src, seq: rs.key.seq,
+		blocks: []pullRange{{off: b.off, length: b.length}},
 	})
 }
 
@@ -310,7 +317,7 @@ func (ep *Endpoint) handlePullReply(m *pullReply) {
 		return // late fragment after completion
 	}
 	region := rs.matched.region
-	n := len(m.data)
+	n := m.buf.Len()
 	if rs.gotFrag[m.off] {
 		ep.node.stats.DupFrags++
 		return
@@ -343,7 +350,7 @@ func (ep *Endpoint) handlePullReply(m *pullReply) {
 		if rs.completed {
 			return
 		}
-		if err := region.WriteAt(m.off, m.data); err != nil {
+		if err := region.WriteBufAt(m.off, &m.buf); err != nil {
 			// Invalidated between check and copy: give the fragment back.
 			delete(rs.gotFrag, m.off)
 			rs.blocks[m.off/ep.cfg.PullBlockSize].accepted -= n

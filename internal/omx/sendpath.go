@@ -214,31 +214,45 @@ func (ep *Endpoint) handlePullReq(m *pullReq) {
 	ss.tries = 0
 	ep.armSendInactivity(ss)
 	region := ss.req.region
-	if !region.Ready(m.off, m.length) {
-		ep.node.stats.OverlapMissSender++
-		ep.emit(trace.OverlapMissSnd, m.seq, m.off, m.length)
+	maxData := ep.node.maxData()
+	// Filter the burst through the overlap-miss check per block, then serve
+	// every ready block as one bottom-half item: the whole window's reply
+	// descriptors are charged (and its fragments enqueued on the wire) in a
+	// single event rather than one per block.
+	var ready []pullRange
+	totalFrags := 0
+	for _, b := range m.blocks {
+		if !region.Ready(b.off, b.length) {
+			ep.node.stats.OverlapMissSender++
+			ep.emit(trace.OverlapMissSnd, m.seq, b.off, b.length)
+			continue
+		}
+		ep.emit(trace.PullReplySent, m.seq, b.off, b.length)
+		totalFrags += (b.length + maxData - 1) / maxData
+		ready = append(ready, b)
+	}
+	if len(ready) == 0 {
 		return
 	}
-	ep.emit(trace.PullReplySent, m.seq, m.off, m.length)
-	maxData := ep.node.maxData()
-	nfrags := (m.length + maxData - 1) / maxData
 	// Per-reply descriptor cost, charged as one BH item for the burst.
-	ep.node.rxCore.Submit(cpu.BottomHalf, sim.Duration(nfrags)*100*sim.Nanosecond, func() {
-		for off := m.off; off < m.off+m.length; off += maxData {
-			n := maxData
-			if off+n > m.off+m.length {
-				n = m.off + m.length - off
+	ep.node.rxCore.Submit(cpu.BottomHalf, sim.Duration(totalFrags)*100*sim.Nanosecond, func() {
+		for _, blk := range ready {
+			for off := blk.off; off < blk.off+blk.length; off += maxData {
+				n := maxData
+				if off+n > blk.off+blk.length {
+					n = blk.off + blk.length - off
+				}
+				buf, err := region.ReadBufAt(off, n)
+				if err != nil {
+					// Region invalidated between the Ready check and the read
+					// (application bug: freed a buffer mid-send). Abort.
+					ep.abortSend(ss, fmt.Errorf("%w: %v", ErrPinAborted, err))
+					return
+				}
+				ep.node.send(m.src.Node, n, &pullReply{
+					src: ep.addr, dst: m.src, seq: m.seq, off: off, buf: buf,
+				})
 			}
-			data := make([]byte, n)
-			if err := region.ReadAt(off, data); err != nil {
-				// Region invalidated between the Ready check and the read
-				// (application bug: freed a buffer mid-send). Abort.
-				ep.abortSend(ss, fmt.Errorf("%w: %v", ErrPinAborted, err))
-				return
-			}
-			ep.node.send(m.src.Node, n, &pullReply{
-				src: ep.addr, dst: m.src, seq: m.seq, off: off, data: data,
-			})
 		}
 	})
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"omxsim/internal/core"
+	"omxsim/internal/vm"
 )
 
 // EndpointAddr identifies an endpoint as (node, endpoint id), like an MX
@@ -65,22 +66,32 @@ type rndvMsg struct {
 	total    int
 }
 
-// pullReq asks the sender to transmit [off, off+length) of message seq.
+// pullRange names one requested block of a message.
+type pullRange struct {
+	off, length int
+}
+
+// pullReq asks the sender to transmit the listed blocks of message seq.
+// The receiver batches a whole pull window into one request frame (block
+// descriptors are a few bytes each; the frame stays header-sized), so
+// issuing a window costs one wire event instead of one per block.
 // Receiver-driven; duplicates are harmless (the sender is stateless for
 // pulls and the receiver dedups by offset).
 type pullReq struct {
 	src, dst EndpointAddr // src = receiver issuing the pull
 	seq      uint64
-	off      int
-	length   int
+	blocks   []pullRange
 }
 
-// pullReply carries data fragment [off, off+len(data)) of message seq.
+// pullReply carries data fragment [off, off+buf.Len()) of message seq. The
+// payload is a zero-copy view of the sender's pinned frames (vm.Buf): the
+// wire Size still charges the full data length, but the host moves no bytes
+// unless a page is rewritten mid-flight.
 type pullReply struct {
 	src, dst EndpointAddr
 	seq      uint64
 	off      int
-	data     []byte
+	buf      vm.Buf
 }
 
 // notifyMsg tells the sender all data arrived (paper Figure 2: "notify").

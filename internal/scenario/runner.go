@@ -246,6 +246,9 @@ func collectStats(cr *CaseRun) {
 	st := cl.Stats()
 	set := cr.Metric
 	set("stats.elapsed_us", cl.Eng.Now().Micros())
+	// Simulator-speed trajectory: events dispatched for this cell (divide by
+	// host wall clock to get events/sec; see PERFORMANCE.md).
+	set("stats.events_fired", float64(cl.Eng.EventsFired()))
 	set("stats.frames_rx", float64(st.FramesRx))
 	set("stats.pull_replies", float64(st.PullRepliesRx))
 	set("stats.overlap_misses", float64(st.OverlapMissSender+st.OverlapMissReceiver))

@@ -145,6 +145,12 @@ func WaitAll(p *Proc, cs ...*Completion) error {
 // Queue is an unbounded FIFO that simulated processes can block on. Items
 // are delivered in insertion order; waiting processes are woken in arrival
 // order.
+//
+// Wake-one semantics are Mesa-style: Push wakes one waiter, but the wake is
+// a hint, not a handoff — a TryPop interloper (or another waiter) may take
+// the item before the woken process runs. The woken process re-checks, and
+// on failure re-parks on the waiter list, where the next Push wakes it
+// again; a losing waiter is never stranded (see wakeone_test.go).
 type Queue[T any] struct {
 	items   []T
 	waiters []func()
@@ -186,7 +192,9 @@ func (q *Queue[T]) Pop(p *Proc) T {
 	}
 }
 
-// Semaphore is a counting semaphore for simulated processes.
+// Semaphore is a counting semaphore for simulated processes. Like Queue,
+// wakes are Mesa-style hints: a woken acquirer that loses its permit to a
+// TryAcquire interloper re-parks and is re-woken by the next Release.
 type Semaphore struct {
 	avail   int
 	waiters []func()

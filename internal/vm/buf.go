@@ -1,0 +1,166 @@
+package vm
+
+import "fmt"
+
+// Buf is a zero-copy, copy-on-reference view of byte contents assembled
+// from page frames (and literal byte runs). It is what the simulated wire
+// carries instead of materialized []byte payloads: building a Buf from
+// pinned frames is O(chunks) — no 4 KiB copies, no zero-fill — and writing
+// one into destination frames adopts whole-page chunks by reference.
+//
+// Snapshot semantics: referenced frames are marked shared, so a later write
+// to the source frame clones the page first (Frame copy-on-write). A Buf
+// therefore always reads as the data at reference time, exactly like the
+// eager copy it replaces, while the common case (page never rewritten
+// mid-flight, or all-zero pages that were never materialized) moves no
+// bytes at all.
+type Buf struct {
+	length int
+	chunks []bufChunk
+}
+
+// bufChunk is one contiguous piece: n bytes at data[off:]. A nil data slice
+// reads as zeros (an unmaterialized page).
+type bufChunk struct {
+	data []byte
+	off  int
+	n    int
+}
+
+// Len reports the byte length of the view.
+func (b *Buf) Len() int { return b.length }
+
+// AppendFrame appends n bytes at offset off of frame f, by reference.
+func (b *Buf) AppendFrame(f *Frame, off, n int) {
+	if n <= 0 {
+		return
+	}
+	if off < 0 || off+n > PageSize {
+		panic(fmt.Sprintf("vm: buf chunk [%d,%d) outside page", off, off+n))
+	}
+	data := f.refData() // nil for an unmaterialized (all-zero) page
+	if data == nil {
+		b.AppendZeros(n)
+		return
+	}
+	b.chunks = append(b.chunks, bufChunk{data: data, off: off, n: n})
+	b.length += n
+}
+
+// AppendZeros appends n zero bytes without materializing them.
+func (b *Buf) AppendZeros(n int) {
+	if n <= 0 {
+		return
+	}
+	if last := len(b.chunks) - 1; last >= 0 && b.chunks[last].data == nil {
+		b.chunks[last].n += n
+	} else {
+		b.chunks = append(b.chunks, bufChunk{n: n})
+	}
+	b.length += n
+}
+
+// AppendBytes appends a literal byte slice by reference (the caller must
+// not mutate it afterwards).
+func (b *Buf) AppendBytes(data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	b.chunks = append(b.chunks, bufChunk{data: data, n: len(data)})
+	b.length += len(data)
+}
+
+// BufOf returns a Buf viewing the given bytes (by reference).
+func BufOf(data []byte) Buf {
+	var b Buf
+	b.AppendBytes(data)
+	return b
+}
+
+// CopyTo materializes the view into dst, which must be at least Len bytes.
+func (b *Buf) CopyTo(dst []byte) {
+	pos := 0
+	for _, c := range b.chunks {
+		if c.data == nil {
+			for i := pos; i < pos+c.n; i++ {
+				dst[i] = 0
+			}
+		} else {
+			copy(dst[pos:pos+c.n], c.data[c.off:c.off+c.n])
+		}
+		pos += c.n
+	}
+}
+
+// Bytes materializes the view into a fresh slice.
+func (b *Buf) Bytes() []byte {
+	dst := make([]byte, b.length)
+	b.CopyTo(dst)
+	return dst
+}
+
+// BufWriter consumes a Buf sequentially, writing it into frames. It adopts
+// whole-page chunks (and whole-page zero runs) by reference and falls back
+// to copying for partial pages.
+type BufWriter struct {
+	b  *Buf
+	ci int // current chunk
+	co int // offset consumed within current chunk
+}
+
+// NewBufWriter returns a sequential writer over b.
+func NewBufWriter(b *Buf) BufWriter { return BufWriter{b: b} }
+
+// WriteTo writes the next n bytes of the Buf into frame f at frameOff.
+func (w *BufWriter) WriteTo(f *Frame, frameOff, n int) {
+	for n > 0 {
+		c := &w.b.chunks[w.ci]
+		m := c.n - w.co
+		if m > n {
+			m = n
+		}
+		if m == 0 {
+			w.ci++
+			w.co = 0
+			continue
+		}
+		if c.data == nil {
+			if frameOff == 0 && m == PageSize {
+				f.adopt(nil) // full zero page: drop any materialized data
+			} else {
+				f.writeZeros(frameOff, m)
+			}
+		} else if frameOff == 0 && m == PageSize && c.off+w.co == 0 && len(c.data) == PageSize {
+			// The chunk piece is exactly a page buffer: share it.
+			f.adopt(c.data)
+		} else {
+			f.Write(frameOff, c.data[c.off+w.co:c.off+w.co+m])
+		}
+		frameOff += m
+		n -= m
+		w.co += m
+		if w.co == c.n {
+			w.ci++
+			w.co = 0
+		}
+	}
+}
+
+// writeZeros zeroes [off, off+n) of the frame. Unmaterialized frames are
+// already zero, so this is free for them.
+func (f *Frame) writeZeros(off, n int) {
+	if f.freed {
+		panic(fmt.Sprintf("vm: write to freed frame %d", f.pfn))
+	}
+	if f.data == nil || n <= 0 {
+		return
+	}
+	f.ensureOwned()
+	if f.data == nil {
+		return
+	}
+	for i := off; i < off+n; i++ {
+		f.data[i] = 0
+	}
+}
+

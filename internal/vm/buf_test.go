@@ -1,0 +1,122 @@
+package vm
+
+import (
+	"bytes"
+	"testing"
+)
+
+// pinnedPair maps and pins one page in each of two address spaces sharing
+// physical memory, returning the source and destination frames.
+func pinnedPair(t *testing.T) (*AddressSpace, *Pinned, *Pinned) {
+	t.Helper()
+	pm := NewPhysMem(0)
+	as := NewAddressSpace(1, pm)
+	srcAddr, err := as.Mmap(PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dstAddr, err := as.Mmap(PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := as.Pin(srcAddr, PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := as.Pin(dstAddr, PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return as, src, dst
+}
+
+// TestBufZeroPagesStayUnmaterialized: referencing and writing all-zero
+// pages must never allocate page data on either side.
+func TestBufZeroPagesStayUnmaterialized(t *testing.T) {
+	_, src, dst := pinnedPair(t)
+	var b Buf
+	b.AppendFrame(src.Frame(0), 0, PageSize)
+	if b.Len() != PageSize {
+		t.Fatalf("Len = %d, want %d", b.Len(), PageSize)
+	}
+	w := NewBufWriter(&b)
+	w.WriteTo(dst.Frame(0), 0, PageSize)
+	if src.Frame(0).data != nil || dst.Frame(0).data != nil {
+		t.Fatal("zero pages were materialized by a Buf round trip")
+	}
+	got := make([]byte, 16)
+	dst.Frame(0).Read(0, got)
+	if !bytes.Equal(got, make([]byte, 16)) {
+		t.Fatalf("dst reads %v, want zeros", got)
+	}
+}
+
+// TestBufAdoptSharesAndCOWIsolates: writing a full-page chunk adopts the
+// source buffer by reference; a later write to either frame clones first,
+// so each side keeps its own snapshot.
+func TestBufAdoptSharesAndCOWIsolates(t *testing.T) {
+	_, src, dst := pinnedPair(t)
+	payload := bytes.Repeat([]byte{0xAB}, PageSize)
+	src.Frame(0).Write(0, payload)
+
+	var b Buf
+	b.AppendFrame(src.Frame(0), 0, PageSize)
+	w := NewBufWriter(&b)
+	w.WriteTo(dst.Frame(0), 0, PageSize)
+	if &src.Frame(0).data[0] != &dst.Frame(0).data[0] {
+		t.Fatal("full-page write did not adopt the source buffer by reference")
+	}
+
+	// Writing the source must clone, leaving the destination's snapshot
+	// intact.
+	src.Frame(0).Write(0, []byte{0xCD})
+	got := make([]byte, 2)
+	dst.Frame(0).Read(0, got)
+	if got[0] != 0xAB || got[1] != 0xAB {
+		t.Fatalf("dst sees source mutation: %v", got)
+	}
+	srcGot := make([]byte, 2)
+	src.Frame(0).Read(0, srcGot)
+	if srcGot[0] != 0xCD || srcGot[1] != 0xAB {
+		t.Fatalf("src = %v, want [cd ab]", srcGot)
+	}
+}
+
+// TestBufSnapshotSurvivesSourceRewrite: a Buf taken before a source write
+// must read the referenced-time contents (the eager-copy semantics the
+// zero-copy path replaces).
+func TestBufSnapshotSurvivesSourceRewrite(t *testing.T) {
+	_, src, _ := pinnedPair(t)
+	src.Frame(0).Write(0, []byte("snapshot"))
+	var b Buf
+	b.AppendFrame(src.Frame(0), 0, 8)
+	src.Frame(0).Write(0, []byte("REWRITE!"))
+	if got := string(b.Bytes()); got != "snapshot" {
+		t.Fatalf("Buf reads %q, want %q", got, "snapshot")
+	}
+}
+
+// TestBufPartialPageCopies: partial-page chunks copy rather than adopt, and
+// land at the right offsets.
+func TestBufPartialPageCopies(t *testing.T) {
+	_, src, dst := pinnedPair(t)
+	src.Frame(0).Write(100, []byte("hello"))
+	var b Buf
+	b.AppendFrame(src.Frame(0), 100, 5)
+	b.AppendZeros(3)
+	b.AppendFrame(src.Frame(0), 100, 5)
+	if b.Len() != 13 {
+		t.Fatalf("Len = %d, want 13", b.Len())
+	}
+	w := NewBufWriter(&b)
+	w.WriteTo(dst.Frame(0), 200, 13)
+	got := make([]byte, 13)
+	dst.Frame(0).Read(200, got)
+	want := append(append([]byte("hello"), 0, 0, 0), []byte("hello")...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("dst = %q, want %q", got, want)
+	}
+	if dst.Frame(0).shared {
+		t.Fatal("partial-page write marked destination shared")
+	}
+}

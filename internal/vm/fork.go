@@ -7,41 +7,49 @@ package vm
 // "the application may ... cause the operating system to duplicate a page
 // on Copy-on-write").
 //
-// Pinned pages are copied eagerly into the child instead of shared: a
-// device may be DMA-ing into the parent's frame, so the parent must keep
-// exclusive writable ownership — this mirrors how Linux fork treats pages
-// with elevated GUP counts.
+// Pinned pages are copied into the child instead of shared: a device may be
+// DMA-ing into the parent's frame, so the parent must keep exclusive
+// writable ownership — this mirrors how Linux fork treats pages with
+// elevated GUP counts. The copy is taken by reference (copy-on-reference):
+// the child frame aliases the parent's contents until either side writes.
 func (as *AddressSpace) Fork(childPID int) (*AddressSpace, error) {
 	child := NewAddressSpace(childPID, as.phys)
-	child.vmas = append([]vma(nil), as.vmas...)
 	child.mmapNext = as.mmapNext
+	child.vmas = make([]*vma, 0, len(as.vmas))
 
-	for a, p := range as.pages {
-		switch {
-		case p.present && p.frame.pinRefs > 0:
-			// Eager copy for the child; parent stays writable and pinned.
-			f, err := as.phys.alloc()
-			if err != nil {
-				return nil, err
+	for _, v := range as.vmas {
+		cv := &vma{start: v.start, end: v.end, ptes: make([]pte, len(v.ptes))}
+		child.vmas = append(child.vmas, cv)
+		for i := range v.ptes {
+			p := &v.ptes[i]
+			switch {
+			case p.present && p.frame.pinRefs > 0:
+				// Child gets its own frame; parent stays writable and pinned.
+				f, err := as.phys.alloc()
+				if err != nil {
+					return nil, err
+				}
+				if p.frame.data != nil {
+					f.data = p.frame.refData()
+					f.shared = true
+				}
+				f.mapRefs++
+				cv.ptes[i] = pte{frame: f, present: true, writable: true}
+			case p.present:
+				// Share read-only; either side's next write breaks COW.
+				p.writable = false
+				p.frame.mapRefs++
+				cv.ptes[i] = pte{frame: p.frame, present: true, writable: false}
+			case p.swapped:
+				// The child aliases the swapped contents copy-on-reference.
+				cp := pte{swapped: true}
+				if p.swapData != nil {
+					cp.swapData = p.swapData
+					cp.swapShared = true
+					p.swapShared = true
+				}
+				cv.ptes[i] = cp
 			}
-			if p.frame.data != nil {
-				f.data = make([]byte, PageSize)
-				copy(f.data, p.frame.data)
-			}
-			f.mapRefs++
-			child.pages[a] = &pte{frame: f, present: true, writable: true}
-		case p.present:
-			// Share read-only; either side's next write breaks COW.
-			p.writable = false
-			p.frame.mapRefs++
-			child.pages[a] = &pte{frame: p.frame, present: true, writable: false}
-		case p.swapped:
-			// The child gets its own copy of the swapped contents.
-			cp := &pte{swapped: true}
-			if p.swapData != nil {
-				cp.swapData = append([]byte(nil), p.swapData...)
-			}
-			child.pages[a] = cp
 		}
 	}
 	return child, nil

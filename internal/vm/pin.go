@@ -25,17 +25,7 @@ func (as *AddressSpace) Pin(addr Addr, length int) (*Pinned, error) {
 	}
 	start := PageAlignDown(addr)
 	end := PageAlignUp(addr + Addr(length))
-	n := int((end - start) >> PageShift)
-	p := &Pinned{as: as, start: start, frames: make([]*Frame, 0, n), active: true}
-	for a := start; a < end; a += PageSize {
-		f, err := as.pinOne(a)
-		if err != nil {
-			p.unpinAll() // roll back partial pin
-			return nil, err
-		}
-		p.frames = append(p.frames, f)
-	}
-	return p, nil
+	return as.pinRange(start, int((end-start)>>PageShift))
 }
 
 // PinPages pins exactly count pages starting at the page containing addr,
@@ -47,29 +37,41 @@ func (as *AddressSpace) PinPages(addr Addr, first, count int) (*Pinned, error) {
 		return nil, fmt.Errorf("vm: pin pages first=%d count=%d: %w", first, count, ErrBadAddress)
 	}
 	start := PageAlignDown(addr) + Addr(first)<<PageShift
-	p := &Pinned{as: as, start: start, frames: make([]*Frame, 0, count), active: true}
-	for i := 0; i < count; i++ {
-		f, err := as.pinOne(start + Addr(i)<<PageShift)
-		if err != nil {
-			p.unpinAll()
-			return nil, err
-		}
-		p.frames = append(p.frames, f)
-	}
-	return p, nil
+	return as.pinRange(start, count)
 }
 
-func (as *AddressSpace) pinOne(a Addr) (*Frame, error) {
-	// Pinning faults for write: the device may DMA into the page, so a
-	// COW-shared page must be broken now, not when the DMA lands.
-	f, err := as.fault(a, true)
-	if err != nil {
-		return nil, err
+// pinRange is the range-based get_user_pages: it resolves the mapping once
+// per vma and pins pages by walking the PTE slice directly — one traversal,
+// no per-page lookups (the batching NP-RDMA and eBPF-mm identify as the
+// difference between per-page and per-range costs).
+func (as *AddressSpace) pinRange(start Addr, count int) (*Pinned, error) {
+	p := &Pinned{as: as, start: start, frames: make([]*Frame, 0, count), active: true}
+	a := start
+	end := start + Addr(count)<<PageShift
+	for a < end {
+		vi, ok := as.findVMA(a)
+		if !ok {
+			p.unpinAll() // roll back partial pin
+			return nil, fmt.Errorf("vm: pin at %#x: %w", uint64(a), ErrBadAddress)
+		}
+		v := as.vmas[vi]
+		idx := int((a - v.start) >> PageShift)
+		for ; a < end && a < v.end; a += PageSize {
+			// Pinning faults for write: the device may DMA into the page, so
+			// a COW-shared page must be broken now, not when the DMA lands.
+			pt := &v.ptes[idx]
+			f, err := as.faultPTE(a, pt, true)
+			if err != nil {
+				p.unpinAll()
+				return nil, err
+			}
+			f.pinRefs++
+			pt.pins++
+			p.frames = append(p.frames, f)
+			idx++
+		}
 	}
-	f.pinRefs++
-	p := as.pages[a]
-	p.pins++
-	return f, nil
+	return p, nil
 }
 
 // NumPages reports the number of pinned pages.
@@ -84,6 +86,12 @@ func (p *Pinned) Active() bool { return p.active }
 // Frame returns pinned page i's frame. This is the translation a driver
 // uses for device access: stable for the lifetime of the handle.
 func (p *Pinned) Frame(i int) *Frame { return p.frames[i] }
+
+// Frames returns the handle's frame slice (one entry per pinned page). The
+// slice is owned by the handle; callers must not modify it. It lets the
+// driver bulk-extend its own translation tables instead of copying frame by
+// frame.
+func (p *Pinned) Frames() []*Frame { return p.frames }
 
 // Unpin drops all pin references. Frames whose mappings are already gone
 // are freed here (the put_page of the last reference).
@@ -105,8 +113,10 @@ func (p *Pinned) unpinAll() {
 			panic(fmt.Sprintf("vm: negative pin count on frame %d", f.pfn))
 		}
 		a := p.start + Addr(i)<<PageShift
-		if pte, ok := p.as.pages[a]; ok && pte.present && pte.frame == f && pte.pins > 0 {
-			pte.pins--
+		if vi, ok := p.as.findVMA(a); ok {
+			if pt := p.as.vmas[vi].pteAt(a); pt.present && pt.frame == f && pt.pins > 0 {
+				pt.pins--
+			}
 		}
 		if f.mapRefs == 0 && f.pinRefs == 0 {
 			p.as.phys.release(f)

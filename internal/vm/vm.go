@@ -8,6 +8,13 @@
 //
 // The package models state and semantics only; CPU time for pinning and
 // copying is charged by callers (the driver) on cpu.Core work queues.
+//
+// Page tables are stored as per-VMA PTE slices over a sorted VMA list, so
+// every range operation (pin, fault, read, write, migrate, swap) resolves
+// the mapping once with a binary search and then walks pages by direct
+// indexing — no per-page map lookups. Frame contents use copy-on-reference
+// sharing (see Buf): readers take O(1) references and the 4 KiB copy is
+// paid only if either side writes afterwards.
 package vm
 
 import (
@@ -52,12 +59,16 @@ var (
 )
 
 // Frame is a physical page frame. Its data is allocated lazily on first
-// write; unwritten frames read as zeros.
+// write; unwritten frames read as zeros. Frame contents may be shared
+// (copy-on-reference) with Buf views and with other frames; a write to a
+// shared frame first clones the 4 KiB buffer, so every outstanding
+// reference keeps the snapshot it was taken from.
 type Frame struct {
 	pfn     uint64
 	data    []byte
-	mapRefs int // number of PTEs referencing this frame
-	pinRefs int // get_user_pages-style references
+	shared  bool // data is aliased by a Buf or another frame: copy on write
+	mapRefs int  // number of PTEs referencing this frame
+	pinRefs int  // get_user_pages-style references
 	freed   bool
 }
 
@@ -89,6 +100,30 @@ func (f *Frame) Read(off int, dst []byte) int {
 	return n
 }
 
+// refData returns a zero-copy reference to the frame's contents (nil means
+// the page reads as zeros). The frame is marked shared so a later Write
+// clones before mutating, preserving the reference's snapshot semantics.
+func (f *Frame) refData() []byte {
+	if f.freed {
+		panic(fmt.Sprintf("vm: reference of freed frame %d", f.pfn))
+	}
+	if f.data != nil {
+		f.shared = true
+	}
+	return f.data
+}
+
+// ensureOwned makes the frame's data private and writable, cloning it if a
+// reference is outstanding (the copy-on-write half of copy-on-reference).
+func (f *Frame) ensureOwned() {
+	if f.shared {
+		d := make([]byte, PageSize)
+		copy(d, f.data)
+		f.data = d
+		f.shared = false
+	}
+}
+
 // Write copies min(len(src), PageSize-off) bytes into the frame at off.
 func (f *Frame) Write(off int, src []byte) int {
 	if f.freed {
@@ -101,11 +136,43 @@ func (f *Frame) Write(off int, src []byte) int {
 	if n <= 0 {
 		return 0
 	}
+	f.ensureOwned()
 	if f.data == nil {
+		if allZero(src[:n]) {
+			// Zero pages stay materialization-free: a nil data slice already
+			// reads as zeros.
+			return n
+		}
 		f.data = make([]byte, PageSize)
 	}
 	copy(f.data[off:off+n], src[:n])
 	return n
+}
+
+// adopt installs a full-page buffer as the frame's contents without
+// copying. A nil page means all zeros. The buffer may still be referenced
+// elsewhere, so the frame is marked shared.
+func (f *Frame) adopt(page []byte) {
+	if f.freed {
+		panic(fmt.Sprintf("vm: adopt into freed frame %d", f.pfn))
+	}
+	if page == nil {
+		f.data = nil
+		f.shared = false
+		return
+	}
+	f.data = page
+	f.shared = true
+}
+
+// allZero reports whether b contains only zero bytes.
+func allZero(b []byte) bool {
+	for _, c := range b {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // PhysMem is the machine's physical memory: a frame allocator with a
@@ -162,13 +229,22 @@ type pte struct {
 	writable bool // false while COW-shared
 	swapped  bool
 	swapData []byte // contents saved at swap-out
+	swapShared bool // swapData aliases a shared buffer
 	pins     int    // pins through *this mapping*
 }
 
-// vma is a mapped virtual region (anonymous memory only).
+// vma is a mapped virtual region (anonymous memory only) together with its
+// page-table slice: ptes[i] describes the page at start + i*PageSize.
+// Splitting a vma sub-slices ptes, so outstanding PTE pointers stay valid.
 type vma struct {
 	start, end Addr // page aligned, [start, end)
+	ptes       []pte
 }
+
+func (v *vma) pages() int { return int((v.end - v.start) >> PageShift) }
+
+// pteAt returns the PTE for page-aligned address a, which must lie in v.
+func (v *vma) pteAt(a Addr) *pte { return &v.ptes[int((a-v.start)>>PageShift)] }
 
 // NotifierRange describes an invalidated virtual range.
 type NotifierRange struct {
@@ -217,7 +293,8 @@ func (r InvalidateReason) String() string {
 // Notifier receives MMU-notifier callbacks. InvalidateRange is called
 // synchronously *before* the mapping change takes effect, exactly like
 // mmu_notifier invalidate_range_start in Linux 2.6.27: listeners must drop
-// their use of the pages (unpin) before returning.
+// their use of the pages (unpin) before returning. Contiguous runs of
+// affected pages are batched into a single callback per range.
 type Notifier interface {
 	InvalidateRange(r NotifierRange)
 }
@@ -226,8 +303,7 @@ type Notifier interface {
 type AddressSpace struct {
 	pid       int
 	phys      *PhysMem
-	vmas      []vma // sorted by start
-	pages     map[Addr]*pte
+	vmas      []*vma // sorted by start
 	notifiers []Notifier
 
 	mmapNext Addr // bump pointer for fresh mappings
@@ -249,7 +325,6 @@ func NewAddressSpace(pid int, phys *PhysMem) *AddressSpace {
 	return &AddressSpace{
 		pid:         pid,
 		phys:        phys,
-		pages:       make(map[Addr]*pte),
 		mmapNext:    mmapBase,
 		notifyCount: make(map[InvalidateReason]uint64),
 	}
@@ -296,6 +371,15 @@ func (as *AddressSpace) notify(start, end Addr, reason InvalidateReason) {
 	}
 }
 
+// findVMA returns the index of the vma containing a, or ok=false.
+func (as *AddressSpace) findVMA(a Addr) (int, bool) {
+	i := sort.Search(len(as.vmas), func(i int) bool { return as.vmas[i].end > a })
+	if i < len(as.vmas) && as.vmas[i].start <= a {
+		return i, true
+	}
+	return i, false
+}
+
 // Mmap maps length bytes of fresh anonymous memory at a kernel-chosen
 // address and returns that address. Pages materialize on first access.
 func (as *AddressSpace) Mmap(length int) (Addr, error) {
@@ -305,7 +389,7 @@ func (as *AddressSpace) Mmap(length int) (Addr, error) {
 	size := Addr(PageAlignUp(Addr(length)))
 	addr := as.mmapNext
 	as.mmapNext += size + PageSize // guard page gap
-	as.insertVMA(vma{start: addr, end: addr + size})
+	as.insertVMA(newVMA(addr, addr+size))
 	return addr, nil
 }
 
@@ -321,13 +405,19 @@ func (as *AddressSpace) MmapFixed(addr Addr, length int) error {
 			return fmt.Errorf("vm: fixed mapping overlaps existing vma: %w", ErrBadAddress)
 		}
 	}
-	as.insertVMA(vma{start: addr, end: end})
+	as.insertVMA(newVMA(addr, end))
 	return nil
 }
 
-func (as *AddressSpace) insertVMA(v vma) {
+func newVMA(start, end Addr) *vma {
+	v := &vma{start: start, end: end}
+	v.ptes = make([]pte, v.pages())
+	return v
+}
+
+func (as *AddressSpace) insertVMA(v *vma) {
 	i := sort.Search(len(as.vmas), func(i int) bool { return as.vmas[i].start >= v.start })
-	as.vmas = append(as.vmas, vma{})
+	as.vmas = append(as.vmas, nil)
 	copy(as.vmas[i+1:], as.vmas[i:])
 	as.vmas[i] = v
 }
@@ -349,19 +439,39 @@ func (as *AddressSpace) Munmap(addr Addr, length int) error {
 		return ErrBadUnmap
 	}
 	as.notify(start, end, InvalidateUnmap)
-	for a := start; a < end; a += PageSize {
-		as.dropPTE(a)
-	}
+	as.forEachVMA(start, end, func(v *vma, first, count int) {
+		for i := first; i < first+count; i++ {
+			as.dropPTE(&v.ptes[i])
+		}
+	})
 	as.removeVMARange(start, end)
 	return nil
 }
 
+// forEachVMA walks the vmas overlapping [start, end), invoking fn with each
+// vma and the page-index range of the overlap. The range need not be fully
+// covered; holes are skipped.
+func (as *AddressSpace) forEachVMA(start, end Addr, fn func(v *vma, firstPage, pageCount int)) {
+	i := sort.Search(len(as.vmas), func(i int) bool { return as.vmas[i].end > start })
+	for ; i < len(as.vmas) && as.vmas[i].start < end; i++ {
+		v := as.vmas[i]
+		lo, hi := v.start, v.end
+		if lo < start {
+			lo = start
+		}
+		if hi > end {
+			hi = end
+		}
+		fn(v, int((lo-v.start)>>PageShift), int((hi-lo)>>PageShift))
+	}
+}
+
+// covered reports whether [start, end) lies entirely inside mappings.
 func (as *AddressSpace) covered(start, end Addr) bool {
 	a := start
-	for _, v := range as.vmas {
-		if v.end <= a {
-			continue
-		}
+	i := sort.Search(len(as.vmas), func(i int) bool { return as.vmas[i].end > start })
+	for ; i < len(as.vmas); i++ {
+		v := as.vmas[i]
 		if v.start > a {
 			return false
 		}
@@ -374,30 +484,28 @@ func (as *AddressSpace) covered(start, end Addr) bool {
 }
 
 func (as *AddressSpace) removeVMARange(start, end Addr) {
-	var out []vma
+	var out []*vma
 	for _, v := range as.vmas {
 		if v.end <= start || v.start >= end {
 			out = append(out, v)
 			continue
 		}
 		if v.start < start {
-			out = append(out, vma{start: v.start, end: start})
+			keep := int((start - v.start) >> PageShift)
+			out = append(out, &vma{start: v.start, end: start, ptes: v.ptes[:keep]})
 		}
 		if v.end > end {
-			out = append(out, vma{start: end, end: v.end})
+			skip := int((end - v.start) >> PageShift)
+			out = append(out, &vma{start: end, end: v.end, ptes: v.ptes[skip:]})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].start < out[j].start })
 	as.vmas = out
 }
 
-// dropPTE tears down the translation for page a, releasing the frame
-// reference held by the mapping.
-func (as *AddressSpace) dropPTE(a Addr) {
-	p, ok := as.pages[a]
-	if !ok {
-		return
-	}
+// dropPTE tears down a translation, releasing the frame reference held by
+// the mapping.
+func (as *AddressSpace) dropPTE(p *pte) {
 	if p.present {
 		p.frame.mapRefs--
 		// Pins held through this mapping keep their frame references; they
@@ -406,7 +514,7 @@ func (as *AddressSpace) dropPTE(a Addr) {
 			as.phys.release(p.frame)
 		}
 	}
-	delete(as.pages, a)
+	*p = pte{}
 }
 
 // Mapped reports whether every page of [addr, addr+length) lies inside a
@@ -421,14 +529,16 @@ func (as *AddressSpace) Mapped(addr Addr, length int) bool {
 // fault materializes the PTE for page a (demand-zero, swap-in, or COW break
 // on write), returning the frame. forWrite causes COW duplication.
 func (as *AddressSpace) fault(a Addr, forWrite bool) (*Frame, error) {
-	if !as.covered(a, a+PageSize) {
+	vi, ok := as.findVMA(a)
+	if !ok {
 		return nil, fmt.Errorf("vm: fault at %#x: %w", uint64(a), ErrBadAddress)
 	}
-	p, ok := as.pages[a]
-	if !ok {
-		p = &pte{}
-		as.pages[a] = p
-	}
+	v := as.vmas[vi]
+	return as.faultPTE(a, v.pteAt(a), forWrite)
+}
+
+// faultPTE runs the fault path on an already-located PTE.
+func (as *AddressSpace) faultPTE(a Addr, p *pte, forWrite bool) (*Frame, error) {
 	if p.swapped {
 		f, err := as.phys.alloc()
 		if err != nil {
@@ -436,8 +546,10 @@ func (as *AddressSpace) fault(a Addr, forWrite bool) (*Frame, error) {
 		}
 		if p.swapData != nil {
 			f.data = p.swapData
+			f.shared = p.swapShared
 		}
 		p.swapData = nil
+		p.swapShared = false
 		p.swapped = false
 		p.frame = f
 		p.present = true
@@ -476,8 +588,10 @@ func (as *AddressSpace) breakCOW(a Addr, p *pte) error {
 		return err
 	}
 	if old.data != nil {
-		f.data = make([]byte, PageSize)
-		copy(f.data, old.data)
+		// Copy-on-reference: the new frame shares the old contents until
+		// one side writes.
+		f.data = old.refData()
+		f.shared = true
 	}
 	old.mapRefs--
 	if old.mapRefs == 0 && old.pinRefs == 0 {
@@ -499,11 +613,13 @@ func (as *AddressSpace) MarkCOW(addr Addr, length int) error {
 	if !as.covered(start, end) {
 		return ErrBadAddress
 	}
-	for a := start; a < end; a += PageSize {
-		if p, ok := as.pages[a]; ok && p.present {
-			p.writable = false
+	as.forEachVMA(start, end, func(v *vma, first, count int) {
+		for i := first; i < first+count; i++ {
+			if v.ptes[i].present {
+				v.ptes[i].writable = false
+			}
 		}
-	}
+	})
 	return nil
 }
 
@@ -522,43 +638,62 @@ func (as *AddressSpace) MProtect(addr Addr, length int, writable bool) error {
 	if !writable {
 		as.notify(start, end, InvalidateProtect)
 	}
-	for a := start; a < end; a += PageSize {
-		if p, ok := as.pages[a]; ok && p.present {
-			p.writable = writable
+	as.forEachVMA(start, end, func(v *vma, first, count int) {
+		for i := first; i < first+count; i++ {
+			if v.ptes[i].present {
+				v.ptes[i].writable = writable
+			}
 		}
-	}
+	})
 	return nil
 }
 
 // Write copies data into the address space at addr, demand-faulting and
 // COW-breaking as needed (this is the application touching its buffer).
+// The mapping is resolved once per vma, not once per page.
 func (as *AddressSpace) Write(addr Addr, data []byte) error {
-	off := 0
-	for off < len(data) {
-		a := addr + Addr(off)
-		page := PageAlignDown(a)
-		f, err := as.fault(page, true)
-		if err != nil {
-			return err
-		}
-		n := f.Write(int(a-page), data[off:])
-		off += n
-	}
-	return nil
+	return as.rangeAccess(addr, len(data), true, func(f *Frame, frameOff, n, done int) {
+		f.Write(frameOff, data[done:done+n])
+	})
 }
 
 // Read copies len(dst) bytes from the address space at addr into dst.
 func (as *AddressSpace) Read(addr Addr, dst []byte) error {
-	off := 0
-	for off < len(dst) {
-		a := addr + Addr(off)
-		page := PageAlignDown(a)
-		f, err := as.fault(page, false)
-		if err != nil {
-			return err
+	return as.rangeAccess(addr, len(dst), false, func(f *Frame, frameOff, n, done int) {
+		f.Read(frameOff, dst[done:done+n])
+	})
+}
+
+// rangeAccess walks [addr, addr+length) once, faulting pages in as needed
+// and invoking fn for each page-contiguous piece.
+func (as *AddressSpace) rangeAccess(addr Addr, length int, forWrite bool,
+	fn func(f *Frame, frameOff, n, done int)) error {
+	done := 0
+	for done < length {
+		a := addr + Addr(done)
+		vi, ok := as.findVMA(a)
+		if !ok {
+			return fmt.Errorf("vm: fault at %#x: %w", uint64(a), ErrBadAddress)
 		}
-		n := f.Read(int(a-page), dst[off:])
-		off += n
+		v := as.vmas[vi]
+		for done < length {
+			a = addr + Addr(done)
+			if a >= v.end {
+				break
+			}
+			page := PageAlignDown(a)
+			f, err := as.faultPTE(page, v.pteAt(page), forWrite)
+			if err != nil {
+				return err
+			}
+			frameOff := int(a - page)
+			n := PageSize - frameOff
+			if n > length-done {
+				n = length - done
+			}
+			fn(f, frameOff, n, done)
+			done += n
+		}
 	}
 	return nil
 }
@@ -566,8 +701,13 @@ func (as *AddressSpace) Read(addr Addr, dst []byte) error {
 // FrameAt returns the current frame backing page-aligned address a, if
 // present. Used by invariant tests to detect stale device translations.
 func (as *AddressSpace) FrameAt(a Addr) (*Frame, bool) {
-	p, ok := as.pages[PageAlignDown(a)]
-	if !ok || !p.present {
+	a = PageAlignDown(a)
+	vi, ok := as.findVMA(a)
+	if !ok {
+		return nil, false
+	}
+	p := as.vmas[vi].pteAt(a)
+	if !p.present {
 		return nil, false
 	}
 	return p.frame, true
@@ -575,8 +715,9 @@ func (as *AddressSpace) FrameAt(a Addr) (*Frame, bool) {
 
 // Migrate moves the frames of [addr, addr+length) to fresh frames, as NUMA
 // balancing or compaction would. Pinned pages are skipped — pinning exists
-// precisely to prevent this (paper §2.1). Notifiers fire per migrated page.
-// It returns the number of pages actually migrated.
+// precisely to prevent this (paper §2.1). Notifiers fire per contiguous run
+// of migrated pages, before the run moves. It returns the number of pages
+// actually migrated.
 func (as *AddressSpace) Migrate(addr Addr, length int) (int, error) {
 	start := PageAlignDown(addr)
 	end := PageAlignUp(addr + Addr(length))
@@ -584,37 +725,62 @@ func (as *AddressSpace) Migrate(addr Addr, length int) (int, error) {
 		return 0, ErrBadAddress
 	}
 	moved := 0
-	for a := start; a < end; a += PageSize {
-		p, ok := as.pages[a]
-		if !ok || !p.present {
-			continue
+	var walkErr error
+	as.forEachVMA(start, end, func(v *vma, first, count int) {
+		if walkErr != nil {
+			return
 		}
-		if p.frame.pinRefs > 0 {
-			continue // pinned: not migratable
+		i := first
+		for i < first+count {
+			// Find the next run of migratable pages and invalidate it as
+			// one batched notifier range.
+			for i < first+count && !migratable(&v.ptes[i]) {
+				i++
+			}
+			runStart := i
+			for i < first+count && migratable(&v.ptes[i]) {
+				i++
+			}
+			if runStart == i {
+				continue
+			}
+			lo := v.start + Addr(runStart)<<PageShift
+			hi := v.start + Addr(i)<<PageShift
+			as.notify(lo, hi, InvalidateMigrate)
+			for j := runStart; j < i; j++ {
+				p := &v.ptes[j]
+				old := p.frame
+				f, err := as.phys.alloc()
+				if err != nil {
+					walkErr = err
+					return
+				}
+				if old.data != nil {
+					f.data = old.data
+					f.shared = old.shared
+					old.data = nil
+					old.shared = false
+				}
+				old.mapRefs--
+				if old.mapRefs == 0 && old.pinRefs == 0 {
+					as.phys.release(old)
+				}
+				p.frame = f
+				f.mapRefs++
+				moved++
+			}
 		}
-		as.notify(a, a+PageSize, InvalidateMigrate)
-		old := p.frame
-		f, err := as.phys.alloc()
-		if err != nil {
-			return moved, err
-		}
-		if old.data != nil {
-			f.data = old.data
-			old.data = nil
-		}
-		old.mapRefs--
-		if old.mapRefs == 0 && old.pinRefs == 0 {
-			as.phys.release(old)
-		}
-		p.frame = f
-		f.mapRefs++
-		moved++
-	}
-	return moved, nil
+	})
+	return moved, walkErr
+}
+
+func migratable(p *pte) bool {
+	return p.present && p.frame.pinRefs == 0
 }
 
 // SwapOut writes the pages of [addr, addr+length) to swap and frees their
-// frames. Pinned pages are skipped. It returns the number of pages swapped.
+// frames. Pinned pages are skipped. Notifiers fire per contiguous run of
+// affected pages. It returns the number of pages swapped.
 func (as *AddressSpace) SwapOut(addr Addr, length int) (int, error) {
 	start := PageAlignDown(addr)
 	end := PageAlignUp(addr + Addr(length))
@@ -622,26 +788,39 @@ func (as *AddressSpace) SwapOut(addr Addr, length int) (int, error) {
 		return 0, ErrBadAddress
 	}
 	swapped := 0
-	for a := start; a < end; a += PageSize {
-		p, ok := as.pages[a]
-		if !ok || !p.present {
-			continue
+	as.forEachVMA(start, end, func(v *vma, first, count int) {
+		i := first
+		for i < first+count {
+			for i < first+count && !migratable(&v.ptes[i]) {
+				i++
+			}
+			runStart := i
+			for i < first+count && migratable(&v.ptes[i]) {
+				i++
+			}
+			if runStart == i {
+				continue
+			}
+			lo := v.start + Addr(runStart)<<PageShift
+			hi := v.start + Addr(i)<<PageShift
+			as.notify(lo, hi, InvalidateSwap)
+			for j := runStart; j < i; j++ {
+				p := &v.ptes[j]
+				old := p.frame
+				p.swapData = old.data
+				p.swapShared = old.shared
+				old.data = nil
+				old.shared = false
+				old.mapRefs--
+				if old.mapRefs == 0 && old.pinRefs == 0 {
+					as.phys.release(old)
+				}
+				p.frame = nil
+				p.present = false
+				p.swapped = true
+				swapped++
+			}
 		}
-		if p.frame.pinRefs > 0 {
-			continue
-		}
-		as.notify(a, a+PageSize, InvalidateSwap)
-		old := p.frame
-		p.swapData = old.data
-		old.data = nil
-		old.mapRefs--
-		if old.mapRefs == 0 && old.pinRefs == 0 {
-			as.phys.release(old)
-		}
-		p.frame = nil
-		p.present = false
-		p.swapped = true
-		swapped++
-	}
+	})
 	return swapped, nil
 }
