@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	omxsim list                     # registered scenarios
+//	omxsim list [-markdown]         # registered scenarios (+ policy labels)
+//	omxsim policies                 # registered pinning-policy backends
 //	omxsim run <scenario>... [-policy lbl] [-seed N] [-quick] [-json]
 //	omxsim sweep [-quick] [-json]   # run every registered scenario
 //	omxsim bench [-quick] [-pr N] [-out FILE]  # simulator meta-benchmarks
@@ -21,6 +22,7 @@ import (
 	"strings"
 
 	"omxsim/internal/bench"
+	"omxsim/internal/policy"
 	"omxsim/internal/report"
 	"omxsim/internal/scenario"
 )
@@ -29,14 +31,18 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `omxsim — Open-MX decoupled-pinning simulator
 
 Usage:
-  omxsim list                list registered scenarios
+  omxsim list                list registered scenarios with their policy labels
+  omxsim policies            list registered pinning-policy backends
   omxsim run <scenario>...   run one or more scenarios by name
   omxsim sweep               run every registered scenario
   omxsim bench               run the simulator meta-benchmark suite and
                              write BENCH_PR<N>.json (ns/op + metrics)
 
+Flags for list:
+  -markdown        emit the README scenario table (docs/scenario-authoring.md)
+
 Flags for run/sweep:
-  -policy string   restrict the case matrix to one label or pin-policy name
+  -policy string   restrict the case matrix to one label or backend name
   -seed int        simulation seed (default 1)
   -quick           reduced size schedules
   -json            emit machine-readable JSON instead of tables
@@ -56,6 +62,8 @@ func main() {
 	switch os.Args[1] {
 	case "list":
 		list(os.Args[2:])
+	case "policies":
+		listPolicies()
 	case "run":
 		run(os.Args[2:])
 	case "sweep":
@@ -72,7 +80,12 @@ func main() {
 
 func list(args []string) {
 	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	markdown := fs.Bool("markdown", false, "emit the README scenario table (generated form)")
 	fs.Parse(args)
+	if *markdown {
+		fmt.Print(scenario.MarkdownTable())
+		return
+	}
 	scenarios := scenario.All()
 	wid := 0
 	for _, s := range scenarios {
@@ -82,6 +95,25 @@ func list(args []string) {
 	}
 	for _, s := range scenarios {
 		fmt.Printf("%-*s  %s\n", wid, s.Name, s.Description)
+		pols := strings.Join(s.PolicyLabels(), ", ")
+		if pols == "" {
+			pols = "custom sweep (fixed matrix)"
+		}
+		fmt.Printf("%-*s  policies: %s\n", wid, "", pols)
+	}
+}
+
+// listPolicies prints the pinning-policy backend registry: every name
+// `-policy` accepts (as a backend name; case labels are per scenario).
+func listPolicies() {
+	wid := 0
+	for _, p := range policy.All() {
+		if len(p.Name()) > wid {
+			wid = len(p.Name())
+		}
+	}
+	for _, p := range policy.All() {
+		fmt.Printf("%-*s  %s\n", wid, p.Name(), p.Description())
 	}
 }
 

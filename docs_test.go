@@ -1,0 +1,110 @@
+package omxsim
+
+// The documentation checks behind CI's docs job: every relative
+// markdown link resolves, and the README's scenario table matches the
+// registry (`omxsim list -markdown`). Run with:
+//
+//	go test -run TestDocs .
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"omxsim/internal/scenario"
+)
+
+// docFiles returns every tracked markdown file at the repo root and
+// under docs/.
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	var files []string
+	for _, glob := range []string{"*.md", "docs/*.md"} {
+		m, err := filepath.Glob(glob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, m...)
+	}
+	if len(files) == 0 {
+		t.Fatal("no markdown files found; is the test running at the repo root?")
+	}
+	return files
+}
+
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocsLinks checks that every relative link in the markdown docs
+// points at a file or directory that exists.
+func TestDocsLinks(t *testing.T) {
+	for _, f := range docFiles(t) {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			target = strings.SplitN(target, "#", 2)[0]
+			resolved := filepath.Join(filepath.Dir(f), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (%s does not exist)", f, m[1], resolved)
+			}
+		}
+	}
+}
+
+const (
+	tableBegin = "<!-- BEGIN SCENARIO TABLE"
+	tableEnd   = "<!-- END SCENARIO TABLE -->"
+)
+
+// TestDocsScenarioTable checks that the README's generated scenario
+// table is in sync with the registry. Regenerate with:
+//
+//	go run ./cmd/omxsim list -markdown
+func TestDocsScenarioTable(t *testing.T) {
+	data, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	begin := strings.Index(s, tableBegin)
+	end := strings.Index(s, tableEnd)
+	if begin < 0 || end < 0 || end < begin {
+		t.Fatalf("README.md is missing the scenario-table markers (%q ... %q)", tableBegin, tableEnd)
+	}
+	block := s[begin:end]
+	// Drop the marker line itself; what remains must equal the generator's
+	// output exactly.
+	if nl := strings.Index(block, "\n"); nl >= 0 {
+		block = block[nl+1:]
+	}
+	want := scenario.MarkdownTable()
+	if block != want {
+		t.Errorf("README scenario table is stale; regenerate with `go run ./cmd/omxsim list -markdown`\n--- README ---\n%s\n--- registry ---\n%s", block, want)
+	}
+}
+
+// TestDocsRequiredFiles pins the documentation surface this repo
+// promises: the paper map, the architecture guide, the authoring guide,
+// and their links from the README.
+func TestDocsRequiredFiles(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"PAPER.md", "ARCHITECTURE.md", "docs/scenario-authoring.md", "PERFORMANCE.md"} {
+		if _, err := os.Stat(f); err != nil {
+			t.Errorf("required doc %s missing", f)
+		}
+		if !strings.Contains(string(readme), f) {
+			t.Errorf("README.md does not link %s", f)
+		}
+	}
+}

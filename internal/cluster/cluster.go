@@ -119,6 +119,31 @@ func New(cfg Config) (*Cluster, error) {
 	return cl, nil
 }
 
+// Close shuts every endpoint down (cancelling in-flight protocol timers,
+// detaching MMU notifiers, dropping all pins) and returns the pages the
+// drivers still report pinned afterwards plus any pin/unpin ledger
+// imbalance. Today's teardown path unpins unconditionally, so a non-zero
+// return means a regression — Manager.Close skipping a region, or the
+// page accounting drifting from the pins actually held — which the
+// scenario runner surfaces as a case note on every cell.
+func (cl *Cluster) Close() int {
+	leaked := 0
+	for _, ep := range cl.Endpoints {
+		ep.Close()
+		residual := ep.Manager().PinnedPages()
+		st := ep.Manager().Stats()
+		// A still-pinned region shows up in both the residual count and
+		// the ledger delta; count it once, and count any remaining
+		// divergence (either sign) as accounting drift.
+		drift := int(st.PagesPinned) - int(st.PagesUnpinned) - residual
+		if drift < 0 {
+			drift = -drift
+		}
+		leaked += residual + drift
+	}
+	return leaked
+}
+
 // Run executes body on every rank and drives the engine until all ranks
 // finish; it panics if the simulation deadlocks (event queue drained with
 // ranks still running).

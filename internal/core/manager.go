@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"omxsim/internal/cpu"
+	"omxsim/internal/policy"
 	"omxsim/internal/sim"
 	"omxsim/internal/trace"
 	"omxsim/internal/vm"
@@ -11,15 +12,20 @@ import (
 
 // ManagerConfig tunes the driver-side pinning engine.
 type ManagerConfig struct {
+	// Policy selects a built-in backend by enum; ignored when Backend is
+	// set explicitly.
 	Policy PinPolicy
+	// Backend is the pinning strategy the manager consults. When nil it
+	// is resolved from Policy through the internal/policy registry.
+	Backend policy.Policy
 	// PinnedPageLimit caps the total pages the manager keeps pinned; when a
 	// pin would exceed it, least-recently-used idle regions are unpinned
 	// first (paper §3.1: "if there are too many pinned pages ... it may
 	// also request some unpinning"). 0 means unlimited.
 	PinnedPageLimit int
 	// PinChunkPages is the granularity of pin/unpin work on the core, so
-	// bottom-half processing can interleave with a large pin. Defaults to 32
-	// pages (128 KiB) per chunk.
+	// bottom-half processing can interleave with a large pin. 0 lets the
+	// backend choose (the driver default is 32 pages, 128 KiB).
 	PinChunkPages int
 }
 
@@ -37,6 +43,9 @@ type Stats struct {
 	PinFailures      uint64
 	AcquiresPinned   uint64 // acquires that found the region already pinned
 	AcquiresUnpinned uint64
+	SpeculativePins  uint64 // pins started with no communication waiting (declare/hint driven)
+	ODPFaults        uint64 // ODP page-request rounds serviced for the NIC
+	ODPFaultPages    uint64 // pages materialized by ODP fault service
 }
 
 // Manager is the driver-side pinning engine: it owns declared regions,
@@ -48,6 +57,7 @@ type Manager struct {
 	core *cpu.Core
 	spec cpu.Spec
 	cfg  ManagerConfig
+	pol  policy.Policy
 
 	regions map[RegionID]*Region
 	nextID  RegionID
@@ -73,15 +83,17 @@ type Manager struct {
 // core. It registers itself as an MMU notifier on as (the paper attaches
 // the notifier when an endpoint is opened).
 func NewManager(eng *sim.Engine, as *vm.AddressSpace, core *cpu.Core, cfg ManagerConfig) *Manager {
-	if cfg.PinChunkPages <= 0 {
-		cfg.PinChunkPages = 32
+	if cfg.Backend == nil {
+		cfg.Backend = cfg.Policy.Backend()
 	}
+	cfg.PinChunkPages = cfg.Backend.PinChunkPages(cfg.PinChunkPages)
 	m := &Manager{
 		eng:     eng,
 		as:      as,
 		core:    core,
 		spec:    core.Spec(),
 		cfg:     cfg,
+		pol:     cfg.Backend,
 		regions: make(map[RegionID]*Region),
 	}
 	as.RegisterNotifier(m)
@@ -97,8 +109,12 @@ func (m *Manager) Close() {
 	m.regions = make(map[RegionID]*Region)
 }
 
-// Policy returns the configured pin policy.
+// Policy returns the configured pin-policy enum value (the zero value
+// when the manager was built from an explicit Backend).
 func (m *Manager) Policy() PinPolicy { return m.cfg.Policy }
+
+// Backend returns the policy backend the manager consults.
+func (m *Manager) Backend() policy.Policy { return m.pol }
 
 // Stats returns a snapshot of the manager's counters.
 func (m *Manager) Stats() Stats { return m.stats }
@@ -136,12 +152,14 @@ func (m *Manager) Declare(segs []Segment) (*Region, error) {
 		r.pages += pages
 	}
 	r.as = m.as
-	r.noPin = m.cfg.Policy == NoPinning
+	r.mgr = m
+	r.noPin = m.pol.Access() != policy.AccessPinned
+	r.odp = m.pol.Access() == policy.AccessODP
 	m.nextID++
 	r.id = m.nextID
 	m.regions[r.id] = r
 	m.stats.Declares++
-	if m.cfg.Policy == Permanent {
+	if m.pol.PinAtDeclare() && !r.noPin {
 		m.startPin(r)
 	}
 	return r, nil
@@ -164,8 +182,9 @@ func (m *Manager) Undeclare(r *Region) error {
 
 // WaitBeforeUse reports whether communications under this policy must wait
 // for the Acquire completion before touching the region (synchronous
-// pinning) or may proceed immediately (overlapped).
-func (p PinPolicy) WaitBeforeUse() bool { return p != Overlapped }
+// pinning) or may proceed immediately (overlapped). It is the complement
+// of the backend's blocking-request OverlapTransfer answer.
+func (p PinPolicy) WaitBeforeUse() bool { return !p.Backend().OverlapTransfer(true, false) }
 
 // OnPinProgress registers fn to run once at least pages of r are pinned
 // (immediately if they already are). If the pin fails or the region is
@@ -252,15 +271,15 @@ func (m *Manager) Acquire(r *Region) *sim.Completion {
 	return done
 }
 
-// Release drops a communication's reference. Under PinEachComm the region
-// is unpinned once no users remain; the decoupled policies leave it pinned
-// for reuse.
+// Release drops a communication's reference. Backends with UnpinOnRelease
+// (pin-each-comm) unpin once no users remain; the decoupled policies
+// leave the region pinned for reuse.
 func (m *Manager) Release(r *Region) {
 	if r.useCount <= 0 {
 		panic("core: Release without Acquire")
 	}
 	r.useCount--
-	if m.cfg.Policy == PinEachComm && r.useCount == 0 {
+	if m.pol.UnpinOnRelease() && r.useCount == 0 {
 		m.startUnpin(r)
 	}
 }
@@ -278,6 +297,11 @@ func (m *Manager) startPin(r *Region) {
 	r.state = statePinning
 	if r.invalidated {
 		m.stats.Repins++
+	}
+	if r.useCount == 0 {
+		// Nobody is waiting: this pin is speculation (permanent's
+		// declare-time pin, pin-ahead's hint-driven pin).
+		m.stats.SpeculativePins++
 	}
 	m.emit(trace.PinStart, uint64(r.id), r.pages, 0)
 	epoch := r.epoch
@@ -463,12 +487,40 @@ func (m *Manager) evictForLimit(n int, pinning *Region) {
 // stays declared and will be repinned at its next use (paper §3.1). The
 // unpin CPU cost is charged at kernel priority on the manager's core — in
 // Linux it executes in the context of the thread performing the unmap.
+//
+// Page-table-translated regions (no-pinning, ODP) hold no pins, but an
+// unmap under an in-use region still kills the transfer: the live
+// translation the NIC depends on is gone, so the affected requests abort
+// through OnInvalidateInUse instead of retrying against a dead mapping.
 func (m *Manager) InvalidateRange(nr vm.NotifierRange) {
 	for _, r := range m.regions {
+		if r.noPin {
+			if nr.Reason == vm.InvalidateUnmap && r.useCount > 0 &&
+				r.overlaps(nr.Start, nr.End) {
+				m.stats.InvalidateHits++
+				m.emit(trace.Invalidate, uint64(r.id), int(nr.Start), int(nr.End-nr.Start))
+				if m.OnInvalidateInUse != nil {
+					m.OnInvalidateInUse(r)
+				}
+			}
+			continue
+		}
 		if r.pinnedPages == 0 && r.state != statePinning {
 			continue
 		}
 		if !r.overlaps(nr.Start, nr.End) {
+			continue
+		}
+		// Page-granular invalidations (COW break, swap-out, migration)
+		// leave the mapping intact and, by construction, never touch a
+		// pinned page — pinning is what exempts a page from them. They
+		// only concern the driver if they hit the pinned prefix (which a
+		// concurrent pin of the same range can race into); an invalidation
+		// confined to the region's still-unpinned tail drops nothing the
+		// driver holds, and get_user_pages simply faults those pages back
+		// in when the pin cursor reaches them. An unmap kills the mapping
+		// itself, so it always invalidates the declared region.
+		if nr.Reason != vm.InvalidateUnmap && !r.pinnedOverlaps(nr.Start, nr.End) {
 			continue
 		}
 		m.stats.InvalidateHits++

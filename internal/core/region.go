@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 
+	"omxsim/internal/policy"
 	"omxsim/internal/vm"
 )
 
@@ -39,7 +40,12 @@ type Segment struct {
 // region in communication requests (paper §3.2: requests carry only this).
 type RegionID uint32
 
-// PinPolicy selects how a region's pages get pinned.
+// PinPolicy names a built-in pinning strategy. It is a compact selector
+// kept for configuration convenience: every value resolves, by name,
+// to a policy.Policy backend from the internal/policy registry, and the
+// Manager consults only that interface. New strategies do not extend
+// this enum — they register a backend and are selected via
+// omx.Config.Backend or the CLI's -policy flag.
 type PinPolicy int
 
 const (
@@ -66,6 +72,17 @@ const (
 	// through the live page table at zero modeled cost. It is an upper
 	// bound, not something commodity Ethernet hardware can do.
 	NoPinning
+	// NoPinODP is the NP-RDMA-style on-demand-paging model: nothing is
+	// pinned and the NIC translates through the live page table, but an
+	// access to a non-resident page fails like an IOMMU page fault — the
+	// packet is dropped, the host services the page request
+	// asynchronously, and the NIC path retries with backoff.
+	NoPinODP
+	// PinAhead is the eBPF-mm-style user-guided model: declarations and
+	// application hints (omx.Endpoint.Advise) start pinning
+	// speculatively, ahead of any communication, so acquires usually
+	// find the region already pinned.
+	PinAhead
 )
 
 // String names the policy as in the paper's figures.
@@ -81,9 +98,23 @@ func (p PinPolicy) String() string {
 		return "overlapped"
 	case NoPinning:
 		return "no-pinning"
+	case NoPinODP:
+		return "odp"
+	case PinAhead:
+		return "pin-ahead"
 	default:
 		return fmt.Sprintf("policy(%d)", int(p))
 	}
+}
+
+// Backend resolves the enum value to its registered policy backend. An
+// unregistered name is a programming error.
+func (p PinPolicy) Backend() policy.Policy {
+	b, ok := policy.ByName(p.String())
+	if !ok {
+		panic(fmt.Sprintf("core: pin policy %q has no registered backend", p.String()))
+	}
+	return b
 }
 
 // Errors returned by region operations.
@@ -121,10 +152,19 @@ type Region struct {
 	segPin []segPin
 	bytes  int
 	pages  int
-	// noPin marks a NoPinning-policy region: accesses translate through
-	// the live page table instead of pinned frames.
+	// noPin marks a page-table-translated region (no-pinning and ODP
+	// backends): accesses go through the live page table instead of
+	// pinned frames.
 	noPin bool
-	as    *vm.AddressSpace
+	// odp additionally gates accesses on page residency: a non-resident
+	// page makes Ready false and raises an ODP fault to the manager.
+	odp bool
+	as  *vm.AddressSpace
+	mgr *Manager
+
+	// odpPending tracks region page indexes with an in-flight ODP fault
+	// request, so each page is requested from the host once per miss.
+	odpPending map[int]struct{}
 
 	state       pinState
 	pinnedPages int // progress cursor, in region page order across segments
@@ -225,10 +265,20 @@ func (r *Region) pageSpan(off, length int) (firstPage, lastPage int, err error) 
 // Ready reports whether the byte range [off, off+length) lies entirely
 // within the pinned prefix — the accessor test the paper adds for
 // overlapped pinning ("some additional tests on the region descriptor when
-// an incoming packet is processed", §4.2).
+// an incoming packet is processed", §4.2). Page-table-translated regions
+// are always ready except under ODP, where a non-resident page makes the
+// range not ready and — modeling the NIC raising a PCIe page request —
+// asks the manager to fault the missing pages in; the caller drops the
+// packet and the protocol's retry machinery provides the backoff.
 func (r *Region) Ready(off, length int) bool {
 	if r.noPin {
-		return off >= 0 && length >= 0 && off+length <= r.bytes
+		if off < 0 || length < 0 || off+length > r.bytes {
+			return false
+		}
+		if !r.odp || length == 0 {
+			return true
+		}
+		return r.odpReady(off, length)
 	}
 	if r.state == statePinned {
 		return true
@@ -241,6 +291,43 @@ func (r *Region) Ready(off, length int) bool {
 		return false
 	}
 	return last < r.pinnedPages
+}
+
+// odpReady checks residency of every page under [off, off+length) with
+// one bulk walk per segment (this runs on the packet hot path) and
+// collects the misses into one fault request to the manager.
+func (r *Region) odpReady(off, length int) bool {
+	first, last, err := r.pageSpan(off, length)
+	if err != nil {
+		return false
+	}
+	var missing []int
+	base := 0
+	for si, seg := range r.segs {
+		segPages := r.segPin[si].pages
+		lo, hi := first-base, last-base
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > segPages-1 {
+			hi = segPages - 1
+		}
+		if lo <= hi {
+			start := vm.PageAlignDown(seg.Addr) + vm.Addr(lo)<<vm.PageShift
+			for _, m := range r.as.MissingPages(start, hi-lo+1) {
+				missing = append(missing, base+lo+m)
+			}
+		}
+		base += segPages
+		if base > last {
+			break
+		}
+	}
+	if len(missing) == 0 {
+		return true
+	}
+	r.mgr.odpFault(r, missing)
+	return false
 }
 
 // access iterates the pinned frames covering [off, off+length). NoPinning
@@ -376,6 +463,28 @@ func (r *Region) virtAccess(off, length int, op func(vm.Addr, []byte) error, buf
 		}
 	}
 	return nil
+}
+
+// pinnedOverlaps reports whether [start,end) intersects the region's
+// pinned prefix — the pages whose frames the driver actually holds.
+func (r *Region) pinnedOverlaps(start, end vm.Addr) bool {
+	base := 0
+	for si, seg := range r.segs {
+		pinnedInSeg := r.pinnedPages - base
+		if pinnedInSeg <= 0 {
+			return false
+		}
+		if pinnedInSeg > r.segPin[si].pages {
+			pinnedInSeg = r.segPin[si].pages
+		}
+		sStart := vm.PageAlignDown(seg.Addr)
+		sEnd := sStart + vm.Addr(pinnedInSeg)<<vm.PageShift
+		if start < sEnd && sStart < end {
+			return true
+		}
+		base += r.segPin[si].pages
+	}
+	return false
 }
 
 // overlaps reports whether the virtual range [start,end) intersects any

@@ -8,7 +8,11 @@
 //	Table 2  — IMB + NPB IS execution-time improvements         (Table2, NPBIS)
 //
 // Each function builds fresh clusters, runs the workload, and returns
-// structured rows; the cmd/ tools and bench_test.go render them.
+// structured rows; the scenario registry and bench_test.go render them.
+// These sweeps fix their config matrices to the paper's policies;
+// comparisons across the full pluggable-backend registry (ODP,
+// pin-ahead, ...) live in the scenario layer's policy-* and multitenant
+// scenarios instead.
 package experiments
 
 import (

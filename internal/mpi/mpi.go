@@ -132,6 +132,12 @@ func (c *Comm) Free(a vm.Addr) {
 // Compute burns d of application CPU time.
 func (c *Comm) Compute(d sim.Duration) { c.ep.Compute(c.p, d) }
 
+// Advise hints that [a, a+n) will be used for communication soon
+// (eBPF-mm-style user guidance): under pin-ahead the driver pins the
+// buffer speculatively, under other policies the declaration cache is
+// warmed. It returns immediately; the work happens asynchronously.
+func (c *Comm) Advise(a vm.Addr, n int) { c.ep.Advise(a, n) }
+
 // WriteBytes/ReadBytes move data between Go slices and the rank's memory.
 func (c *Comm) WriteBytes(a vm.Addr, b []byte) {
 	if err := c.ep.AS.Write(a, b); err != nil {

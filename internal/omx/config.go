@@ -2,6 +2,7 @@ package omx
 
 import (
 	"omxsim/internal/core"
+	"omxsim/internal/policy"
 	"omxsim/internal/sim"
 )
 
@@ -16,9 +17,15 @@ import (
 //	Figure 7 "Pinning Cache":              OnDemand,    cache on
 //	Figure 7 "Overlapped Pinning Cache":   Overlapped,  cache on
 type Config struct {
-	// Policy is the driver-side pinning policy.
+	// Policy selects a built-in pinning strategy by enum; it resolves to
+	// a policy backend by name. Ignored when Backend is set.
 	Policy core.PinPolicy
+	// Backend selects the pinning strategy directly — any backend
+	// registered with internal/policy, including out-of-tree ones. When
+	// nil, Policy resolves it.
+	Backend policy.Policy
 	// CacheEnabled turns on the user-space region cache (paper §3.2).
+	// Backends whose RequiresCache is true (pin-ahead) force it on.
 	CacheEnabled bool
 	// CacheCapacity bounds cached declarations (0 = 64).
 	CacheCapacity int
@@ -103,8 +110,23 @@ func DefaultConfig(policy core.PinPolicy, cacheEnabled bool) Config {
 	}
 }
 
-// withDefaults fills zero fields.
+// PolicyLabel names the effective pinning strategy for reports and
+// -policy filters: the explicit backend's name when set, else the enum's.
+func (c Config) PolicyLabel() string {
+	if c.Backend != nil {
+		return c.Backend.Name()
+	}
+	return c.Policy.String()
+}
+
+// withDefaults fills zero fields and resolves the policy backend.
 func (c Config) withDefaults() Config {
+	if c.Backend == nil {
+		c.Backend = c.Policy.Backend()
+	}
+	if c.Backend.RequiresCache() {
+		c.CacheEnabled = true
+	}
 	d := DefaultConfig(c.Policy, c.CacheEnabled)
 	if c.EagerThreshold == 0 {
 		c.EagerThreshold = d.EagerThreshold

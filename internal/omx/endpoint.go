@@ -165,6 +165,7 @@ func (n *Node) OpenEndpoint(epID, appCoreIdx int, cfg Config) (*Endpoint, error)
 	appCore := n.Machine.Core(appCoreIdx)
 	mgr := core.NewManager(n.Eng, as, appCore, core.ManagerConfig{
 		Policy:          cfg.Policy,
+		Backend:         cfg.Backend,
 		PinnedPageLimit: cfg.PinnedPageLimit,
 		PinChunkPages:   cfg.PinChunkPages,
 	})
@@ -343,16 +344,40 @@ func (ep *Endpoint) IrecvVHint(segs []Segment, match, mask uint64, blocking bool
 	return req
 }
 
-// useOverlap decides whether a request overlaps its pinning: always under
-// plain Overlapped, only for blocking requests under AdaptiveOverlap.
+// useOverlap asks the policy backend whether a request overlaps its
+// pinning with the transfer (per request: the application's blocking
+// hint plus the endpoint's AdaptiveOverlap configuration, paper §5).
 func (ep *Endpoint) useOverlap(blocking bool) bool {
-	if ep.cfg.Policy != core.Overlapped {
-		return false
+	return ep.cfg.Backend.OverlapTransfer(blocking, ep.cfg.AdaptiveOverlap)
+}
+
+// Advise hints that segs will be used for communication soon — the
+// eBPF-mm-style user-guided signal. The segments are declared through
+// the region cache (one syscall, charged like any declare) and, under
+// backends that pin at declare time (pin-ahead, permanent), pinning
+// starts immediately: by the time a transfer acquires the region the
+// pin is usually complete. Under other backends the hint still warms
+// the declaration cache; it never holds a reference, so eviction and
+// invalidation proceed normally.
+func (ep *Endpoint) Advise(addr vm.Addr, length int) {
+	ep.AdviseV([]Segment{{Addr: addr, Len: length}})
+}
+
+// AdviseV is the vectorial form of Advise.
+func (ep *Endpoint) AdviseV(segs []Segment) {
+	if len(segs) == 0 {
+		return
 	}
-	if ep.cfg.AdaptiveOverlap {
-		return blocking
-	}
-	return true
+	ep.core.Submit(cpu.Kernel, ep.cfg.SyscallCost, func() {
+		ep.cache.GetAsync(segs, func(r *core.Region, err error) {
+			if err != nil {
+				return // a bad hint is not an error; the transfer will fail loudly
+			}
+			// Drop the reference immediately: the cache keeps the
+			// declaration (and the declare-time pin it triggered) warm.
+			ep.cache.Put(r)
+		})
+	})
 }
 
 // postRecv runs the MX matching rule: first try the unexpected queue in

@@ -21,6 +21,37 @@ func EachCase(name string, check func(cr *CaseRun) (bool, string)) Assertion {
 	}}
 }
 
+// EachCaseWhere builds an assertion checked on every case cell selected
+// by want. It passes vacuously when no cell matches — which is what a
+// cross-case claim must do under the -policy filter, where the cells it
+// speaks about may not have run at all.
+func EachCaseWhere(name string, want func(cr *CaseRun) bool, check func(cr *CaseRun) (bool, string)) Assertion {
+	return Assertion{Name: name, Check: func(run *Run) (bool, string) {
+		for _, cr := range run.Cases {
+			if !want(cr) {
+				continue
+			}
+			if ok, detail := check(cr); !ok {
+				return false, fmt.Sprintf("%s: %s", cr.id(), detail)
+			}
+		}
+		return true, ""
+	}}
+}
+
+// PolicyCases selects the cells running the named policy backends (for
+// EachCaseWhere).
+func PolicyCases(names ...string) func(cr *CaseRun) bool {
+	return func(cr *CaseRun) bool {
+		for _, n := range names {
+			if cr.PolicyName == n {
+				return true
+			}
+		}
+		return false
+	}
+}
+
 // AnyCase builds an assertion satisfied by at least one case cell.
 func AnyCase(name string, check func(cr *CaseRun) (bool, string)) Assertion {
 	return Assertion{Name: name, Check: func(run *Run) (bool, string) {
@@ -74,6 +105,23 @@ func MetricBelow(metric string, max float64) Assertion {
 		}
 		if v >= max {
 			return false, fmt.Sprintf("%s = %g >= %g", metric, v, max)
+		}
+		return true, ""
+	})
+}
+
+// PinAccountingBalanced asserts, in every case, that the driver's pin
+// ledger balances: every page ever pinned was either unpinned again or is
+// still accounted as pinned at the end of the run — the scenario-level
+// form of the policy-contract leak check.
+func PinAccountingBalanced() Assertion {
+	return EachCase("pin accounting balances", func(cr *CaseRun) (bool, string) {
+		pinned := cr.Metrics["stats.pages_pinned"]
+		unpinned := cr.Metrics["stats.pages_unpinned"]
+		end := cr.Metrics["stats.pinned_pages_end"]
+		if pinned != unpinned+end {
+			return false, fmt.Sprintf("pinned %g != unpinned %g + still-pinned %g",
+				pinned, unpinned, end)
 		}
 		return true, ""
 	})

@@ -51,20 +51,18 @@ func pingPongWorkload(c *mpi.Comm, cr *CaseRun) {
 
 func init() {
 	// pingpong: the policy matrix on a reduced size schedule — Figure 7's
-	// four curves plus the Permanent upper bound and the QsNet-style
-	// NoPinning ideal the paper's conclusion points at.
+	// four curves plus the Permanent upper bound, the QsNet-style
+	// NoPinning ideal the paper's conclusion points at, and the two
+	// post-paper backends (NP-RDMA-style ODP, eBPF-mm-style pin-ahead).
 	MustRegister(&Scenario{
 		Name:        "pingpong",
 		Description: "IMB PingPong throughput across the full pinning-policy matrix",
-		Cases: append(figure7Matrix(),
-			Case{Label: "permanent", OMX: omx.DefaultConfig(core.Permanent, true)},
-			Case{Label: "no-pinning", OMX: omx.DefaultConfig(core.NoPinning, true)},
-		),
-		Sizes:      []int{256 * 1024, 1 << 20, 4 << 20, 16 << 20},
-		QuickSizes: []int{1 << 20},
-		Metric:     "mbps",
-		Workload:   pingPongWorkload,
-		Assertions: []Assertion{MetricPositive("mbps"), Completed()},
+		Cases:       fullPolicyMatrix(),
+		Sizes:       []int{256 * 1024, 1 << 20, 4 << 20, 16 << 20},
+		QuickSizes:  []int{1 << 20},
+		Metric:      "mbps",
+		Workload:    pingPongWorkload,
+		Assertions:  []Assertion{MetricPositive("mbps"), Completed()},
 	})
 
 	// figure6: the paper's Figure 6 sweep.

@@ -1,0 +1,45 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PolicyLabels returns the scenario's distinct case labels in matrix
+// order — the values `-policy` accepts for it. Scenarios without a case
+// matrix run the single default case; Custom scenarios build their own
+// sweep and return nil.
+func (s *Scenario) PolicyLabels() []string {
+	if s.Custom != nil {
+		return nil
+	}
+	if len(s.Cases) == 0 {
+		return []string{defaultCase().Label}
+	}
+	seen := make(map[string]bool, len(s.Cases))
+	var out []string
+	for _, c := range s.Cases {
+		if !seen[c.Label] {
+			seen[c.Label] = true
+			out = append(out, c.Label)
+		}
+	}
+	return out
+}
+
+// MarkdownTable renders the registry as a GitHub-flavored markdown table
+// — the source of truth for the README's scenario section (`omxsim list
+// -markdown` regenerates it; the docs CI check keeps the two in sync).
+func MarkdownTable() string {
+	var b strings.Builder
+	b.WriteString("| scenario | policies | description |\n")
+	b.WriteString("|---|---|---|\n")
+	for _, s := range All() {
+		pols := strings.Join(s.PolicyLabels(), ", ")
+		if pols == "" {
+			pols = "*custom sweep*"
+		}
+		fmt.Fprintf(&b, "| `%s` | %s | %s |\n", s.Name, pols, s.Description)
+	}
+	return b.String()
+}

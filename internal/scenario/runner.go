@@ -62,7 +62,12 @@ func (s *Scenario) Run(opts Options) (*report.Result, error) {
 			Notes:   cr.Notes,
 		})
 	}
-	for _, a := range s.Assertions {
+	// The teardown invariant is checked on every scenario, not just those
+	// that opt in: a cell whose endpoints closed with pages still pinned
+	// (stats.pinned_after_close, set by runCell) must fail the run. It
+	// runs last so the scenario's own assertions keep their positions.
+	assertions := append(append([]Assertion{}, s.Assertions...), noTeardownLeak())
+	for _, a := range assertions {
 		ok, detail := a.Check(run)
 		res.Assertions = append(res.Assertions, report.Assertion{Name: a.Name, Passed: ok, Detail: detail})
 	}
@@ -70,11 +75,17 @@ func (s *Scenario) Run(opts Options) (*report.Result, error) {
 	return res, nil
 }
 
+// defaultCase is the single cell scenarios without a Cases matrix run
+// (PolicyLabels advertises its label through `omxsim list`).
+func defaultCase() Case {
+	return Case{Label: "cache", OMX: omx.DefaultConfig(core.OnDemand, true)}
+}
+
 // cases resolves the case matrix after the -policy filter.
 func (s *Scenario) cases(opts Options) ([]Case, error) {
 	cases := s.Cases
 	if len(cases) == 0 {
-		cases = []Case{{Label: "cache", OMX: omx.DefaultConfig(core.OnDemand, true)}}
+		cases = []Case{defaultCase()}
 	}
 	if opts.Policy == "" {
 		return cases, nil
@@ -83,7 +94,7 @@ func (s *Scenario) cases(opts Options) ([]Case, error) {
 	var labels []string
 	for _, c := range cases {
 		labels = append(labels, c.Label)
-		if strings.EqualFold(c.Label, opts.Policy) || strings.EqualFold(c.OMX.Policy.String(), opts.Policy) {
+		if strings.EqualFold(c.Label, opts.Policy) || strings.EqualFold(c.OMX.PolicyLabel(), opts.Policy) {
 			kept = append(kept, c)
 		}
 	}
@@ -134,7 +145,7 @@ func (s *Scenario) runCell(run *Run, c Case, size int) (*CaseRun, error) {
 	cr := &CaseRun{
 		Case:       c,
 		Size:       size,
-		PolicyName: c.OMX.Policy.String(),
+		PolicyName: c.OMX.PolicyLabel(),
 		Metrics:    make(map[string]float64),
 		buffers:    make(map[string]bufRef),
 	}
@@ -164,7 +175,27 @@ func (s *Scenario) runCell(run *Run, c Case, size int) (*CaseRun, error) {
 		cr.Completed = true
 	}
 	collectStats(cr)
+	// Tear the endpoints down: the policy contract says no backend may
+	// leave pages pinned once its endpoints are gone. A leak here fails
+	// the run through the implicit noTeardownLeak assertion.
+	if leaked := cl.Close(); leaked != 0 {
+		cr.Metric("stats.pinned_after_close", float64(leaked))
+		cr.Note("TEARDOWN LEAK: %d pages still pinned after endpoint close", leaked)
+	}
 	return cr, nil
+}
+
+// noTeardownLeak is the implicit assertion Run applies to every
+// scenario: endpoint teardown must drop every pin (vacuously true for
+// Custom scenarios, which manage their own clusters and never set the
+// metric).
+func noTeardownLeak() Assertion {
+	return EachCase("no pinned pages after teardown", func(cr *CaseRun) (bool, string) {
+		if leaked := cr.Metrics["stats.pinned_after_close"]; leaked > 0 {
+			return false, fmt.Sprintf("%g pages still pinned after endpoint close", leaked)
+		}
+		return true, ""
+	})
 }
 
 // scheduleFault arms one fault event on the cluster's engine.
@@ -263,10 +294,17 @@ func collectStats(cr *CaseRun) {
 		mgr.Declares += m.Declares
 		mgr.PinOps += m.PinOps
 		mgr.UnpinOps += m.UnpinOps
+		mgr.PagesPinned += m.PagesPinned
+		mgr.PagesUnpinned += m.PagesUnpinned
 		mgr.Repins += m.Repins
 		mgr.InvalidateHits += m.InvalidateHits
 		mgr.LRUUnpins += m.LRUUnpins
 		mgr.PinFailures += m.PinFailures
+		mgr.AcquiresPinned += m.AcquiresPinned
+		mgr.AcquiresUnpinned += m.AcquiresUnpinned
+		mgr.SpeculativePins += m.SpeculativePins
+		mgr.ODPFaults += m.ODPFaults
+		mgr.ODPFaultPages += m.ODPFaultPages
 		c := ep.Cache().Stats()
 		cache.Hits += c.Hits
 		cache.Misses += c.Misses
@@ -275,10 +313,17 @@ func collectStats(cr *CaseRun) {
 	set("stats.declares", float64(mgr.Declares))
 	set("stats.pin_ops", float64(mgr.PinOps))
 	set("stats.unpin_ops", float64(mgr.UnpinOps))
+	set("stats.pages_pinned", float64(mgr.PagesPinned))
+	set("stats.pages_unpinned", float64(mgr.PagesUnpinned))
 	set("stats.repins", float64(mgr.Repins))
 	set("stats.invalidate_hits", float64(mgr.InvalidateHits))
 	set("stats.lru_unpins", float64(mgr.LRUUnpins))
 	set("stats.pin_failures", float64(mgr.PinFailures))
+	set("stats.acquires_pinned", float64(mgr.AcquiresPinned))
+	set("stats.acquires_unpinned", float64(mgr.AcquiresUnpinned))
+	set("stats.speculative_pins", float64(mgr.SpeculativePins))
+	set("stats.odp_faults", float64(mgr.ODPFaults))
+	set("stats.odp_fault_pages", float64(mgr.ODPFaultPages))
 	set("stats.cache_hits", float64(cache.Hits))
 	set("stats.cache_misses", float64(cache.Misses))
 	set("stats.pinned_pages_end", float64(pinnedNow))

@@ -54,6 +54,7 @@ func TestBuiltinsRegisteredAndSorted(t *testing.T) {
 		"pingpong", "figure6", "figure7", "imb", "imb-all", "npbis",
 		"overlapmiss", "overload", "pinbench", "quickstart", "pincache",
 		"rendezvous", "adaptive", "mixed-policy", "faults",
+		"policy-swapout", "policy-fork", "policy-flood", "multitenant",
 	} {
 		if _, ok := Get(want); !ok {
 			t.Errorf("builtin scenario %q not registered", want)
@@ -78,11 +79,16 @@ func TestAssertionFailurePropagates(t *testing.T) {
 	if res.Passed || !res.Failed() {
 		t.Fatal("failing assertion did not fail the result")
 	}
-	if len(res.Assertions) != 1 || res.Assertions[0].Passed {
+	// The scenario's own assertion comes first; the runner appends the
+	// implicit teardown-leak check after it.
+	if len(res.Assertions) != 2 || res.Assertions[0].Passed {
 		t.Fatalf("assertion record wrong: %+v", res.Assertions)
 	}
 	if res.Assertions[0].Detail == "" {
 		t.Fatal("failing assertion carries no detail")
+	}
+	if last := res.Assertions[1]; last.Name != "no pinned pages after teardown" || !last.Passed {
+		t.Fatalf("implicit teardown assertion wrong: %+v", last)
 	}
 }
 

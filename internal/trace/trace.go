@@ -37,6 +37,9 @@ const (
 	Invalidate
 	CacheHit
 	CacheMiss
+	// OdpFault is one serviced ODP page-request round (A = pages
+	// materialized, B = pages requested).
+	OdpFault
 	numKinds
 )
 
@@ -47,7 +50,7 @@ func (k Kind) String() string {
 		"frag-accepted", "overlap-miss-snd", "overlap-miss-rcv", "re-request",
 		"notify-sent", "msg-complete",
 		"pin-start", "pin-done", "pin-fail", "unpin", "invalidate",
-		"cache-hit", "cache-miss",
+		"cache-hit", "cache-miss", "odp-fault",
 	}
 	if int(k) < len(names) {
 		return names[k]

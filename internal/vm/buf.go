@@ -163,4 +163,3 @@ func (f *Frame) writeZeros(off, n int) {
 		f.data[i] = 0
 	}
 }
-

@@ -224,13 +224,13 @@ func (pm *PhysMem) release(f *Frame) {
 
 // pte is a page-table entry.
 type pte struct {
-	frame    *Frame
-	present  bool
-	writable bool // false while COW-shared
-	swapped  bool
-	swapData []byte // contents saved at swap-out
-	swapShared bool // swapData aliases a shared buffer
-	pins     int    // pins through *this mapping*
+	frame      *Frame
+	present    bool
+	writable   bool // false while COW-shared
+	swapped    bool
+	swapData   []byte // contents saved at swap-out
+	swapShared bool   // swapData aliases a shared buffer
+	pins       int    // pins through *this mapping*
 }
 
 // vma is a mapped virtual region (anonymous memory only) together with its
@@ -696,6 +696,91 @@ func (as *AddressSpace) rangeAccess(addr Addr, length int, forWrite bool,
 		}
 	}
 	return nil
+}
+
+// PageResident reports whether the page containing a is materialized:
+// mapped, present, and not swapped out. This is the residency test an
+// ODP-capable device makes before translating through the live page
+// table — a non-resident page means the access faults instead.
+func (as *AddressSpace) PageResident(a Addr) bool {
+	a = PageAlignDown(a)
+	vi, ok := as.findVMA(a)
+	if !ok {
+		return false
+	}
+	return as.vmas[vi].pteAt(a).present
+}
+
+// MissingPages walks count pages starting at the page containing addr,
+// resolving the mapping once per VMA (not once per page), and returns
+// the indexes — relative to the first page — of pages that are not
+// resident. Unmapped pages count as missing. A nil result means the
+// whole range is resident; this is the bulk form of PageResident the
+// ODP device check uses on its packet hot path.
+func (as *AddressSpace) MissingPages(addr Addr, count int) []int {
+	var missing []int
+	start := PageAlignDown(addr)
+	i := 0
+	for i < count {
+		a := start + Addr(i)<<PageShift
+		vi, ok := as.findVMA(a)
+		if !ok {
+			// Unmapped gap: everything up to the next VMA (vi is its
+			// index) is missing in one step, no per-page re-search.
+			gapEnd := count
+			if vi < len(as.vmas) {
+				if n := int((as.vmas[vi].start - start) >> PageShift); n < gapEnd {
+					gapEnd = n
+				}
+			}
+			for ; i < gapEnd; i++ {
+				missing = append(missing, i)
+			}
+			continue
+		}
+		v := as.vmas[vi]
+		idx := int((a - v.start) >> PageShift)
+		for ; i < count && idx < len(v.ptes); idx, i = idx+1, i+1 {
+			if !v.ptes[idx].present {
+				missing = append(missing, i)
+			}
+		}
+	}
+	return missing
+}
+
+// Populate materializes count pages starting at the page containing
+// addr, faulting in demand-zero and swapped pages (read faults: COW
+// sharing is left intact; a later write breaks it). Like the other
+// range operations it resolves the mapping once per VMA, not once per
+// page. It returns the number of pages that were not resident before;
+// an unmapped page stops the walk with ErrBadAddress. This is the host
+// side of an ODP page request: the device faulted, the kernel faults
+// the pages in, the device retries.
+func (as *AddressSpace) Populate(addr Addr, count int) (int, error) {
+	n := 0
+	start := PageAlignDown(addr)
+	i := 0
+	for i < count {
+		a := start + Addr(i)<<PageShift
+		vi, ok := as.findVMA(a)
+		if !ok {
+			return n, fmt.Errorf("vm: populate at %#x: %w", uint64(a), ErrBadAddress)
+		}
+		v := as.vmas[vi]
+		idx := int((a - v.start) >> PageShift)
+		for ; i < count && idx < len(v.ptes); idx, i = idx+1, i+1 {
+			pt := &v.ptes[idx]
+			if pt.present {
+				continue
+			}
+			if _, err := as.faultPTE(v.start+Addr(idx)<<PageShift, pt, false); err != nil {
+				return n, err
+			}
+			n++
+		}
+	}
+	return n, nil
 }
 
 // FrameAt returns the current frame backing page-aligned address a, if
