@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"omxsim/internal/bench"
+	"omxsim/internal/core"
 	"omxsim/internal/policy"
 	"omxsim/internal/report"
 	"omxsim/internal/scenario"
@@ -103,8 +104,9 @@ func list(args []string) {
 	}
 }
 
-// listPolicies prints the pinning-policy backend registry: every name
-// `-policy` accepts (as a backend name; case labels are per scenario).
+// listPolicies prints the pinning-policy backend registry — every name
+// `-policy` accepts (as a backend name; case labels are per scenario) —
+// and the cache eviction policies omx.Config.CacheEviction selects.
 func listPolicies() {
 	wid := 0
 	for _, p := range policy.All() {
@@ -115,6 +117,8 @@ func listPolicies() {
 	for _, p := range policy.All() {
 		fmt.Printf("%-*s  %s\n", wid, p.Name(), p.Description())
 	}
+	fmt.Printf("\ncache eviction policies (omx.Config.CacheEviction): %s\n",
+		strings.Join(core.EvictorNames(), ", "))
 }
 
 // runFlags parses the shared run/sweep flags. Scenario names and flags may

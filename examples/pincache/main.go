@@ -1,7 +1,10 @@
 // Pincache: the full lifecycle of the paper's Figure 3 — malloc,
 // communicate (declare + pin), communicate again (cache hit, still
-// pinned), free (MMU notifier unpins, region stays declared), realloc the
-// same buffer, communicate (cache hit again, driver repins transparently).
+// pinned), then both invalidation classes: an mprotect fires the MMU
+// notifier and the driver unpins while the cached declaration survives
+// (the next use hits and repins transparently — the decoupling), and a
+// free drops the cached declaration entirely, so the realloc'd buffer is
+// declared afresh instead of served from a stale entry.
 //
 // The workload is the registered "pincache" scenario; `omxsim run
 // pincache` renders the same run.

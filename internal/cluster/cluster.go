@@ -20,6 +20,14 @@ type Config struct {
 	// RanksPerNode is how many MPI ranks (endpoints) each host runs
 	// (default 1). Ranks are block-distributed: ranks 0..k-1 on node 0.
 	RanksPerNode int
+	// RanksPerProc groups a node's consecutive ranks into shared
+	// processes (default 1: one process per rank). Ranks in one process
+	// share an address space, allocator, driver region manager, and —
+	// importantly — the user-space region cache, so a buffer declared by
+	// one rank is a cache hit for its process peers. The process adopts
+	// the configuration of its first rank; EndpointConfig is consulted
+	// once per process.
+	RanksPerProc int
 	// Spec selects the host CPU (default cpu.XeonE5460, the paper's main
 	// machine).
 	Spec cpu.Spec
@@ -72,6 +80,9 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.RanksPerNode == 0 {
 		cfg.RanksPerNode = 1
 	}
+	if cfg.RanksPerProc == 0 {
+		cfg.RanksPerProc = 1
+	}
 	if cfg.Spec.Cores == 0 {
 		cfg.Spec = cpu.XeonE5460
 	}
@@ -96,16 +107,24 @@ func New(cfg Config) (*Cluster, error) {
 	for n := 0; n < cfg.Nodes; n++ {
 		node := omx.NewNode(eng, fabric, cfg.Spec, n, cfg.RxCoreIdx)
 		cl.Nodes = append(cl.Nodes, node)
+		var proc *omx.Process
 		for r := 0; r < cfg.RanksPerNode; r++ {
 			coreIdx := (cfg.AppCoreBase + r) % cfg.Spec.Cores
 			if cfg.AppsOnRxCore {
 				coreIdx = cfg.RxCoreIdx
 			}
-			omxCfg := cfg.OMX
-			if cfg.EndpointConfig != nil {
-				omxCfg = cfg.EndpointConfig(n, n*cfg.RanksPerNode+r, omxCfg)
+			if r%cfg.RanksPerProc == 0 {
+				omxCfg := cfg.OMX
+				if cfg.EndpointConfig != nil {
+					omxCfg = cfg.EndpointConfig(n, n*cfg.RanksPerNode+r, omxCfg)
+				}
+				var err error
+				proc, err = node.NewProcess(r, coreIdx, omxCfg)
+				if err != nil {
+					return nil, fmt.Errorf("cluster: node %d rank %d: %w", n, r, err)
+				}
 			}
-			ep, err := node.OpenEndpoint(r, coreIdx, omxCfg)
+			ep, err := node.OpenEndpointIn(proc, r, coreIdx)
 			if err != nil {
 				return nil, fmt.Errorf("cluster: node %d rank %d: %w", n, r, err)
 			}
@@ -119,6 +138,21 @@ func New(cfg Config) (*Cluster, error) {
 	return cl, nil
 }
 
+// Processes returns the distinct processes backing the cluster's
+// endpoints, in endpoint order — the unit to iterate for per-manager or
+// per-cache accounting (endpoints sharing a process share both).
+func (cl *Cluster) Processes() []*omx.Process {
+	seen := make(map[*omx.Process]bool, len(cl.Endpoints))
+	var out []*omx.Process
+	for _, ep := range cl.Endpoints {
+		if p := ep.Process(); !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 // Close shuts every endpoint down (cancelling in-flight protocol timers,
 // detaching MMU notifiers, dropping all pins) and returns the pages the
 // drivers still report pinned afterwards plus any pin/unpin ledger
@@ -127,11 +161,13 @@ func New(cfg Config) (*Cluster, error) {
 // page accounting drifting from the pins actually held — which the
 // scenario runner surfaces as a case note on every cell.
 func (cl *Cluster) Close() int {
-	leaked := 0
 	for _, ep := range cl.Endpoints {
 		ep.Close()
-		residual := ep.Manager().PinnedPages()
-		st := ep.Manager().Stats()
+	}
+	leaked := 0
+	for _, p := range cl.Processes() {
+		residual := p.Manager().PinnedPages()
+		st := p.Manager().Stats()
 		// A still-pinned region shows up in both the residual count and
 		// the ledger delta; count it once, and count any remaining
 		// divergence (either sign) as accounting drift.

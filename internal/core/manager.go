@@ -166,8 +166,12 @@ func (m *Manager) Declare(segs []Segment) (*Region, error) {
 }
 
 // Undeclare removes a region, unpinning it if needed. Regions with active
-// users cannot be undeclared.
+// users cannot be undeclared. Subrange views cannot be undeclared — only
+// the base declaration can (the cache owns that lifecycle).
 func (m *Manager) Undeclare(r *Region) error {
+	if r.parent != nil {
+		return fmt.Errorf("core: undeclare of a subrange view: %w", ErrUnknownRegion)
+	}
 	if _, ok := m.regions[r.id]; !ok {
 		return ErrUnknownRegion
 	}
@@ -192,6 +196,15 @@ func (p PinPolicy) WaitBeforeUse() bool { return !p.Backend().OverlapTransfer(tr
 // path to delay the initiating message until a small prefix is pinned —
 // the mitigation sketched in the paper's §4.3.
 func (m *Manager) OnPinProgress(r *Region, pages int, fn func(error)) {
+	if r.parent != nil {
+		// Translate the view-relative threshold onto the parent's pin
+		// cursor (which counts from the parent's first page).
+		if pages > r.pages {
+			pages = r.pages
+		}
+		m.OnPinProgress(r.parent, r.parentPageOff+pages, fn)
+		return
+	}
 	if r.noPin {
 		fn(nil)
 		return
@@ -242,6 +255,9 @@ func (m *Manager) failPrefixWaiters(r *Region, err error) {
 // caller proceeds immediately and uses Region.Ready per access instead of
 // waiting.
 func (m *Manager) Acquire(r *Region) *sim.Completion {
+	// A subrange view acquires its base declaration: pin state, use
+	// counts, and LRU recency all live there.
+	r = r.Base()
 	m.tick++
 	r.lastUse = m.tick
 	r.useCount++
@@ -275,6 +291,7 @@ func (m *Manager) Acquire(r *Region) *sim.Completion {
 // (pin-each-comm) unpin once no users remain; the decoupled policies
 // leave the region pinned for reuse.
 func (m *Manager) Release(r *Region) {
+	r = r.Base()
 	if r.useCount <= 0 {
 		panic("core: Release without Acquire")
 	}

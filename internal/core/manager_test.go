@@ -10,10 +10,11 @@ import (
 )
 
 type harness struct {
-	eng  *sim.Engine
-	as   *vm.AddressSpace
-	al   *vm.Allocator
-	core *cpu.Core
+	eng     *sim.Engine
+	as      *vm.AddressSpace
+	al      *vm.Allocator
+	machine *cpu.Machine
+	core    *cpu.Core
 }
 
 func newHarness(t *testing.T) *harness {
@@ -25,7 +26,7 @@ func newHarness(t *testing.T) *harness {
 		t.Fatal(err)
 	}
 	m := cpu.NewMachine(eng, cpu.XeonE5460)
-	return &harness{eng: eng, as: as, al: al, core: m.Core(0)}
+	return &harness{eng: eng, as: as, al: al, machine: m, core: m.Core(0)}
 }
 
 func (h *harness) manager(cfg ManagerConfig) *Manager {

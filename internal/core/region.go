@@ -166,6 +166,16 @@ type Region struct {
 	// request, so each page is requested from the host once per miss.
 	odpPending map[int]struct{}
 
+	// parent, when non-nil, marks this region as a subrange *view* of a
+	// larger cached declaration: the cache hands these out for requests
+	// fully covered by an existing entry. A view holds no driver state of
+	// its own — pinning, use counts, and accesses all delegate to the
+	// parent at parentOff/parentPageOff. Views never appear in
+	// Manager.regions and share the parent's descriptor.
+	parent        *Region
+	parentOff     int // byte offset of the view within the parent
+	parentPageOff int // page offset of the view within the parent
+
 	state       pinState
 	pinnedPages int // progress cursor, in region page order across segments
 	epoch       uint64
@@ -192,6 +202,46 @@ type prefixWaiter struct {
 	done  func(err error)
 }
 
+// newSubRegion builds a view of seg within parent (a single-segment
+// declaration whose byte span covers seg).
+func newSubRegion(parent *Region, seg Segment) *Region {
+	if len(parent.segs) != 1 {
+		panic("core: subrange view of a vectorial region")
+	}
+	pages := vm.PageCount(seg.Addr, seg.Len)
+	return &Region{
+		id:     parent.id,
+		segs:   []Segment{seg},
+		segPin: []segPin{{pages: pages}},
+		bytes:  seg.Len,
+		pages:  pages,
+		noPin:  parent.noPin,
+		odp:    parent.odp,
+		as:     parent.as,
+		mgr:    parent.mgr,
+
+		parent:    parent,
+		parentOff: int(seg.Addr - parent.segs[0].Addr),
+		parentPageOff: int((vm.PageAlignDown(seg.Addr) -
+			vm.PageAlignDown(parent.segs[0].Addr)) >> vm.PageShift),
+	}
+}
+
+// Base returns the underlying declared region: the parent for subrange
+// views, the region itself otherwise. Driver-side identity (Manager
+// bookkeeping, abort matching, cache reference counting) always works on
+// the base.
+func (r *Region) Base() *Region {
+	if r.parent != nil {
+		return r.parent
+	}
+	return r
+}
+
+// IsView reports whether the region is a subrange view of a larger
+// declaration.
+func (r *Region) IsView() bool { return r.parent != nil }
+
 // ID returns the region's descriptor.
 func (r *Region) ID() RegionID { return r.id }
 
@@ -201,14 +251,33 @@ func (r *Region) Bytes() int { return r.bytes }
 // Pages returns the total page count across segments.
 func (r *Region) Pages() int { return r.pages }
 
-// PinnedPages returns the pin progress cursor.
-func (r *Region) PinnedPages() int { return r.pinnedPages }
+// PinnedPages returns the pin progress cursor. For a view it is the
+// parent's cursor projected onto the view's page range.
+func (r *Region) PinnedPages() int {
+	if r.parent != nil {
+		n := r.parent.pinnedPages - r.parentPageOff
+		if n < 0 {
+			n = 0
+		}
+		if n > r.pages {
+			n = r.pages
+		}
+		return n
+	}
+	return r.pinnedPages
+}
 
-// Pinned reports whether every page is pinned.
-func (r *Region) Pinned() bool { return r.state == statePinned }
+// Pinned reports whether every page is pinned (for a view: every page of
+// the view's range within the parent).
+func (r *Region) Pinned() bool {
+	if r.parent != nil {
+		return r.parent.state != stateUnpinned && r.PinnedPages() == r.pages
+	}
+	return r.state == statePinned
+}
 
 // InUse reports whether any communication currently references the region.
-func (r *Region) InUse() bool { return r.useCount > 0 }
+func (r *Region) InUse() bool { return r.Base().useCount > 0 }
 
 // Segments returns a copy of the region's segment list.
 func (r *Region) Segments() []Segment {
@@ -271,6 +340,12 @@ func (r *Region) pageSpan(off, length int) (firstPage, lastPage int, err error) 
 // asks the manager to fault the missing pages in; the caller drops the
 // packet and the protocol's retry machinery provides the backoff.
 func (r *Region) Ready(off, length int) bool {
+	if r.parent != nil {
+		if off < 0 || length < 0 || off+length > r.bytes {
+			return false
+		}
+		return r.parent.Ready(r.parentOff+off, length)
+	}
 	if r.noPin {
 		if off < 0 || length < 0 || off+length > r.bytes {
 			return false
@@ -377,6 +452,13 @@ func (r *Region) access(off, length int, fn func(f *vm.Frame, frameOff, n, done 
 // read the sender's pull path uses: O(pages) references instead of O(bytes)
 // copies; see vm.Buf for the snapshot semantics. The range must be Ready.
 func (r *Region) ReadBufAt(off, length int) (vm.Buf, error) {
+	if r.parent != nil {
+		if off < 0 || off+length > r.bytes {
+			return vm.Buf{}, fmt.Errorf("core: access [%d,%d) outside view of %d bytes",
+				off, off+length, r.bytes)
+		}
+		return r.parent.ReadBufAt(r.parentOff+off, length)
+	}
 	var b vm.Buf
 	if r.noPin {
 		// NIC-MMU model: translate through the live page table; the copy is
@@ -399,6 +481,13 @@ func (r *Region) ReadBufAt(off, length int) (vm.Buf, error) {
 // adopting whole-page chunks by reference (the receive-side analogue of
 // ReadBufAt). The range must be Ready.
 func (r *Region) WriteBufAt(off int, b *vm.Buf) error {
+	if r.parent != nil {
+		if off < 0 || off+b.Len() > r.bytes {
+			return fmt.Errorf("core: access [%d,%d) outside view of %d bytes",
+				off, off+b.Len(), r.bytes)
+		}
+		return r.parent.WriteBufAt(r.parentOff+off, b)
+	}
 	if r.noPin {
 		return r.WriteAt(off, b.Bytes())
 	}
@@ -413,6 +502,13 @@ func (r *Region) WriteBufAt(off int, b *vm.Buf) error {
 // must be Ready. NoPinning regions translate through the live page table
 // (the NIC-MMU model).
 func (r *Region) ReadAt(off int, dst []byte) error {
+	if r.parent != nil {
+		if off < 0 || off+len(dst) > r.bytes {
+			return fmt.Errorf("core: access [%d,%d) outside view of %d bytes",
+				off, off+len(dst), r.bytes)
+		}
+		return r.parent.ReadAt(r.parentOff+off, dst)
+	}
 	if r.noPin {
 		return r.virtAccess(off, len(dst), func(a vm.Addr, b []byte) error {
 			return r.as.Read(a, b)
@@ -426,6 +522,13 @@ func (r *Region) ReadAt(off int, dst []byte) error {
 // WriteAt copies src into the region at byte offset off. The range must be
 // Ready.
 func (r *Region) WriteAt(off int, src []byte) error {
+	if r.parent != nil {
+		if off < 0 || off+len(src) > r.bytes {
+			return fmt.Errorf("core: access [%d,%d) outside view of %d bytes",
+				off, off+len(src), r.bytes)
+		}
+		return r.parent.WriteAt(r.parentOff+off, src)
+	}
 	if r.noPin {
 		return r.virtAccess(off, len(src), func(a vm.Addr, b []byte) error {
 			return r.as.Write(a, b)

@@ -20,10 +20,10 @@ func TestAdvisePinsAhead(t *testing.T) {
 	p.a.Advise(buf, n)
 	p.eng.Run()
 
-	if got := p.a.mgr.PinnedPages(); got != n/4096 {
+	if got := p.a.Manager().PinnedPages(); got != n/4096 {
 		t.Fatalf("Advise pinned %d pages, want %d", got, n/4096)
 	}
-	st := p.a.mgr.Stats()
+	st := p.a.Manager().Stats()
 	if st.SpeculativePins == 0 {
 		t.Fatal("Advise-driven pin not counted as speculative")
 	}
@@ -43,10 +43,10 @@ func TestAdvisePinsAhead(t *testing.T) {
 	if !send.Done() || !recv.Done() || send.Err != nil || recv.Err != nil {
 		t.Fatalf("transfer after Advise failed: send=%v recv=%v", send.Err, recv.Err)
 	}
-	if hits := p.a.cache.Stats().Hits; hits == 0 {
+	if hits := p.a.Cache().Stats().Hits; hits == 0 {
 		t.Fatal("send after Advise missed the declaration cache")
 	}
-	if got := p.a.mgr.Stats().AcquiresPinned; got == 0 {
+	if got := p.a.Manager().Stats().AcquiresPinned; got == 0 {
 		t.Fatal("send after Advise did not find the region pre-pinned")
 	}
 }
@@ -64,10 +64,10 @@ func TestAdviseIsHintOnly(t *testing.T) {
 	p.a.Advise(buf, n)
 	p.a.Advise(0xdead0000, 4096) // bogus hint: declaration succeeds, pin would fail later
 	p.eng.Run()
-	if got := p.a.mgr.PinnedPages(); got != 0 {
+	if got := p.a.Manager().PinnedPages(); got != 0 {
 		t.Fatalf("on-demand Advise pinned %d pages", got)
 	}
-	if declares := p.a.mgr.Stats().Declares; declares == 0 {
+	if declares := p.a.Manager().Stats().Declares; declares == 0 {
 		t.Fatal("Advise did not warm the declaration cache")
 	}
 }

@@ -29,6 +29,18 @@ type Config struct {
 	CacheEnabled bool
 	// CacheCapacity bounds cached declarations (0 = 64).
 	CacheCapacity int
+	// CacheByteCapacity bounds the total bytes covered by cached
+	// declarations (0 = unlimited). Under pressure the cache undeclares
+	// idle entries per CacheEviction until it fits.
+	CacheByteCapacity int
+	// CacheEviction names the cache eviction policy: "lru" (default) or
+	// "size" (largest idle entry first). See core.EvictorNames.
+	CacheEviction string
+	// CacheDropOnCOW drops cached declarations on mapping-preserving
+	// invalidations (COW, swap, migrate, mprotect) too, not just unmap —
+	// the conservative NP-RDMA-style staleness policy. Default off: the
+	// driver repins through an intact mapping transparently.
+	CacheDropOnCOW bool
 	// UseIOAT offloads receive copies of large-message data to the node's
 	// I/OAT DMA engine (paper §2.2).
 	UseIOAT bool
@@ -126,6 +138,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Backend.RequiresCache() {
 		c.CacheEnabled = true
+	}
+	if c.CacheEviction == "" {
+		c.CacheEviction = "lru"
 	}
 	d := DefaultConfig(c.Policy, c.CacheEnabled)
 	if c.EagerThreshold == 0 {

@@ -115,15 +115,16 @@ type sendKey struct {
 // per-message protocol state). One endpoint models one application process.
 type Endpoint struct {
 	node *Node
+	proc *Process
 	addr EndpointAddr
 	cfg  Config
 
-	// Application-process resources.
+	// Application-process resources. AS and Alloc mirror the process's
+	// (kept as fields for the workload-facing API); the region manager
+	// and cache are reached through proc — the single source of truth.
 	core  *cpu.Core
 	AS    *vm.AddressSpace
 	Alloc *vm.Allocator
-	mgr   *core.Manager
-	cache *core.Cache
 
 	sendSeq  map[EndpointAddr]uint64
 	sends    map[sendKey]*sendState
@@ -148,57 +149,25 @@ type Endpoint struct {
 // aborts.
 const maxRetries = 30
 
-// OpenEndpoint opens endpoint epID on the node, binding the application
-// process to core appCoreIdx. Each endpoint gets its own address space,
-// allocator, region manager (with MMU notifier attached, paper §3.1) and
-// region cache.
+// OpenEndpoint opens endpoint epID on the node in a fresh single-endpoint
+// process bound to core appCoreIdx: its own address space, allocator,
+// region manager (with MMU notifier attached, paper §3.1) and region
+// cache. Use NewProcess + OpenEndpointIn to share one process — and its
+// region cache — across several endpoints.
 func (n *Node) OpenEndpoint(epID, appCoreIdx int, cfg Config) (*Endpoint, error) {
-	if _, dup := n.endpoints[epID]; dup {
-		return nil, fmt.Errorf("omx: endpoint %d already open on node %d", epID, n.ID)
-	}
-	cfg = cfg.withDefaults()
-	as := vm.NewAddressSpace(epID, n.Phys)
-	alloc, err := vm.NewAllocator(as, 0, 64<<20)
+	p, err := n.NewProcess(epID, appCoreIdx, cfg)
 	if err != nil {
 		return nil, err
 	}
-	appCore := n.Machine.Core(appCoreIdx)
-	mgr := core.NewManager(n.Eng, as, appCore, core.ManagerConfig{
-		Policy:          cfg.Policy,
-		Backend:         cfg.Backend,
-		PinnedPageLimit: cfg.PinnedPageLimit,
-		PinChunkPages:   cfg.PinChunkPages,
-	})
-	var ep *Endpoint
-	mgr.OnInvalidateInUse = func(r *core.Region) {
-		if ep != nil {
-			ep.abortRegionUsers(r)
-		}
-	}
-	ep = &Endpoint{
-		node:        n,
-		addr:        EndpointAddr{Node: n.ID, EP: epID},
-		cfg:         cfg,
-		core:        appCore,
-		AS:          as,
-		Alloc:       alloc,
-		mgr:         mgr,
-		cache:       core.NewCache(n.Eng, mgr, appCore, cfg.CacheCapacity, cfg.CacheEnabled),
-		sendSeq:     make(map[EndpointAddr]uint64),
-		sends:       make(map[sendKey]*sendState),
-		recvNext:    make(map[EndpointAddr]uint64),
-		rstates:     make(map[msgKey]*rstate),
-		activePulls: make(map[*rstate]struct{}),
-	}
-	n.endpoints[epID] = ep
-	return ep, nil
+	return n.OpenEndpointIn(p, epID, appCoreIdx)
 }
 
 // Close shuts the endpoint down: every in-flight message's timers are
-// cancelled (a closed endpoint must not keep talking), the MMU notifier is
-// detached, and all pins are dropped. Outstanding local requests never
-// complete — their process is gone; remote peers abort via their own
-// liveness timeouts.
+// cancelled (a closed endpoint must not keep talking) and the endpoint
+// detaches from its process — when the last endpoint of a process closes,
+// the MMU notifiers are detached and all pins are dropped. Outstanding
+// local requests never complete — their process is gone; remote peers
+// abort via their own liveness timeouts.
 func (ep *Endpoint) Close() {
 	ep.closed = true
 	for _, rs := range ep.rstates {
@@ -217,7 +186,7 @@ func (ep *Endpoint) Close() {
 		}
 	}
 	ep.sends = make(map[sendKey]*sendState)
-	ep.mgr.Close()
+	ep.proc.detach(ep)
 	delete(ep.node.endpoints, ep.addr.EP)
 }
 
@@ -225,8 +194,8 @@ func (ep *Endpoint) Close() {
 // region manager.
 func (ep *Endpoint) SetTrace(rec *trace.Recorder) {
 	ep.Trace = rec
-	ep.mgr.Trace = rec
-	ep.mgr.TraceNode = ep.node.ID
+	ep.proc.mgr.Trace = rec
+	ep.proc.mgr.TraceNode = ep.node.ID
 }
 
 // emit records a protocol trace event when a recorder is attached.
@@ -246,11 +215,15 @@ func (ep *Endpoint) Node() *Node { return ep.node }
 // Core returns the application core the endpoint is bound to.
 func (ep *Endpoint) Core() *cpu.Core { return ep.core }
 
+// Process returns the owning process (shared with every endpoint opened
+// through the same NewProcess).
+func (ep *Endpoint) Process() *Process { return ep.proc }
+
 // Manager exposes the driver-side region manager (for stats and tests).
-func (ep *Endpoint) Manager() *core.Manager { return ep.mgr }
+func (ep *Endpoint) Manager() *core.Manager { return ep.proc.mgr }
 
 // Cache exposes the user-space region cache (for stats and tests).
-func (ep *Endpoint) Cache() *core.Cache { return ep.cache }
+func (ep *Endpoint) Cache() *core.Cache { return ep.proc.cache }
 
 // Config returns the endpoint configuration.
 func (ep *Endpoint) Config() Config { return ep.cfg }
@@ -329,7 +302,7 @@ func (ep *Endpoint) IrecvVHint(segs []Segment, match, mask uint64, blocking bool
 		segs: segs, overlap: ep.useOverlap(blocking)}
 	ep.core.Submit(cpu.Kernel, ep.cfg.SyscallCost, func() {
 		if total > ep.cfg.EagerThreshold {
-			ep.cache.GetAsync(segs, func(r *core.Region, err error) {
+			ep.proc.cache.GetAsyncOn(ep.core, segs, func(r *core.Region, err error) {
 				if err != nil {
 					ep.complete(req, fmt.Errorf("omx: declare: %w", err))
 					return
@@ -369,13 +342,13 @@ func (ep *Endpoint) AdviseV(segs []Segment) {
 		return
 	}
 	ep.core.Submit(cpu.Kernel, ep.cfg.SyscallCost, func() {
-		ep.cache.GetAsync(segs, func(r *core.Region, err error) {
+		ep.proc.cache.GetAsyncOn(ep.core, segs, func(r *core.Region, err error) {
 			if err != nil {
 				return // a bad hint is not an error; the transfer will fail loudly
 			}
 			// Drop the reference immediately: the cache keeps the
 			// declaration (and the declare-time pin it triggered) warm.
-			ep.cache.Put(r)
+			ep.proc.cache.PutOn(ep.core, r)
 		})
 	})
 }
@@ -417,11 +390,11 @@ func (ep *Endpoint) complete(req *Request, err error) {
 	}
 	req.Err = err
 	if req.acquired {
-		ep.mgr.Release(req.region)
+		ep.proc.mgr.Release(req.region)
 		req.acquired = false
 	}
 	if req.region != nil {
-		ep.cache.Put(req.region)
+		ep.proc.cache.PutOn(ep.core, req.region)
 		req.region = nil
 	}
 	req.done.Complete(ep.node.Eng, nil)
@@ -481,14 +454,15 @@ func (ep *Endpoint) handleAbort(m *abortMsg) {
 // buffer mid-communication).
 func (ep *Endpoint) abortRegionUsers(r *core.Region) {
 	for k, ss := range ep.sends {
-		if ss.req.region == r && !ss.req.done.Done() {
+		if ss.req.region != nil && ss.req.region.Base() == r && !ss.req.done.Done() {
 			ep.node.send(ss.dst.Node, 0, &abortMsg{src: ep.addr, dst: ss.dst, seq: ss.seq})
 			_ = k
 			ep.abortSend(ss, fmt.Errorf("%w: buffer invalidated during send", ErrPinAborted))
 		}
 	}
 	for _, rs := range ep.rstates {
-		if rs.matched != nil && !rs.completed && rs.matched.region == r {
+		if rs.matched != nil && !rs.completed &&
+			rs.matched.region != nil && rs.matched.region.Base() == r {
 			ep.finishPull(rs, fmt.Errorf("%w: buffer invalidated during receive", ErrPinAborted))
 		}
 	}

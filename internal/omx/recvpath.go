@@ -122,7 +122,7 @@ func (ep *Endpoint) startPull(rs *rstate, req *Request) {
 		rs.blocks[i] = blockState{off: off, length: l}
 	}
 	ep.activePulls[rs] = struct{}{}
-	acq := ep.mgr.Acquire(req.region)
+	acq := ep.proc.mgr.Acquire(req.region)
 	req.acquired = true
 	if !req.overlap {
 		acq.OnDone(ep.node.Eng, func() {
@@ -145,7 +145,7 @@ func (ep *Endpoint) startPull(rs *rstate, req *Request) {
 	})
 	// §4.3 mitigation: hold the first pull requests until a small prefix
 	// is pinned, so early replies never outrun the cursor.
-	ep.mgr.OnPinProgress(req.region, ep.cfg.SyncPrefixPages, func(err error) {
+	ep.proc.mgr.OnPinProgress(req.region, ep.cfg.SyncPrefixPages, func(err error) {
 		if err != nil || rs.completed {
 			return
 		}

@@ -68,14 +68,14 @@ func (ep *Endpoint) sendEagerFrags(ss *sendState, match uint64) {
 // rendezvous waits for the pin (Figure 2); under Overlapped it goes out
 // immediately and pinning proceeds behind the transfer (Figure 5).
 func (ep *Endpoint) startRendezvous(ss *sendState, match uint64) {
-	ep.cache.GetAsync(ss.req.segs, func(r *core.Region, err error) {
+	ep.proc.cache.GetAsyncOn(ep.core, ss.req.segs, func(r *core.Region, err error) {
 		if err != nil {
 			delete(ep.sends, sendKey{ss.dst, ss.seq})
 			ep.complete(ss.req, fmt.Errorf("omx: declare: %w", err))
 			return
 		}
 		ss.req.region = r
-		acq := ep.mgr.Acquire(r)
+		acq := ep.proc.mgr.Acquire(r)
 		ss.req.acquired = true
 		sendRndv := func() {
 			if ss.req.done.Done() {
@@ -110,7 +110,7 @@ func (ep *Endpoint) startRendezvous(ss *sendState, match uint64) {
 		})
 		// §4.3 mitigation: hold the rendezvous until a small prefix is
 		// pinned, so the first pull requests never outrun the cursor.
-		ep.mgr.OnPinProgress(r, ep.cfg.SyncPrefixPages, func(err error) {
+		ep.proc.mgr.OnPinProgress(r, ep.cfg.SyncPrefixPages, func(err error) {
 			if err != nil {
 				return // the acquire completion above handles the abort
 			}

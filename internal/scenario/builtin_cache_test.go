@@ -1,0 +1,31 @@
+package scenario
+
+import "testing"
+
+// TestCacheStressScenarios gates the cache-stress family (and the
+// reworked pincache lifecycle) in `go test`: these scenarios carry the
+// acceptance assertions for the registration cache — subrange hits
+// without new declarations, no stale region after munmap/realloc, and
+// byte-budget eviction — so a cache regression fails the unit suite, not
+// just the CI sweep.
+func TestCacheStressScenarios(t *testing.T) {
+	for _, name := range []string{
+		"cache-stress-realloc",
+		"cache-stress-subrange",
+		"cache-stress-share",
+		"cache-stress-pressure",
+		"pincache",
+	} {
+		t.Run(name, func(t *testing.T) {
+			res, err := RunByName(name, Options{Quick: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, a := range res.Assertions {
+				if !a.Passed {
+					t.Errorf("assertion %q failed: %s", a.Name, a.Detail)
+				}
+			}
+		})
+	}
+}

@@ -42,15 +42,19 @@ func init() {
 		},
 	})
 
-	// pincache: the full Figure 3 lifecycle — communicate, hit, free (MMU
-	// notifier unpins), realloc the same address, hit again and repin.
+	// pincache: the full Figure 3 lifecycle — communicate, hit, then both
+	// invalidation classes: a mapping-preserving mprotect (driver unpins,
+	// the cached declaration survives, the next use hits and repins
+	// transparently — the decoupling) and a free (the unmap notifier
+	// drops the cached declaration, so the realloc'd buffer gets a fresh
+	// one instead of a stale hit).
 	MustRegister(&Scenario{
 		Name:        "pincache",
-		Description: "Figure 3 lifecycle: pin, cache hit, free fires the MMU notifier, realloc repins transparently",
+		Description: "Figure 3 lifecycle: pin, cache hit, mprotect unpins and the next use repins; free drops the cached declaration so realloc re-declares cleanly",
 		Workload: func(c *mpi.Comm, cr *CaseRun) {
 			const n = 2 << 20
 			if c.Rank() == 1 {
-				for i := 0; i < 3; i++ {
+				for i := 0; i < 4; i++ {
 					buf := c.Malloc(n)
 					c.Recv(buf, n, 0, 1)
 					c.Free(buf)
@@ -59,9 +63,16 @@ func init() {
 			}
 			buf := c.Malloc(n)
 			c.Send(buf, n, 1, 1)
-			c.Send(buf, n, 1, 1)
-			// Free fires the MMU notifier: the driver unpins, but the
-			// declaration survives in the user-space cache.
+			c.Send(buf, n, 1, 1) // cache hit, region already pinned
+			// The mprotect fault lands in this idle window: the MMU
+			// notifier makes the driver unpin, but the mapping — and the
+			// cached declaration over it — stays intact.
+			cr.RegisterBuffer(0, "payload", buf, n)
+			c.Compute(2 * sim.Millisecond)
+			c.Send(buf, n, 1, 1) // cache hit again; the acquire repins
+			// Free kills the mapping: the unmap notifier drops the cached
+			// declaration, so the re-malloc'd buffer is declared afresh —
+			// never served from the dead entry.
 			c.Free(buf)
 			c.Compute(1000)
 			buf2 := c.Malloc(n)
@@ -70,11 +81,16 @@ func init() {
 			}
 			c.Send(buf2, n, 1, 1)
 		},
+		Faults: []Fault{
+			{At: 100 * sim.Microsecond, Kind: FaultMProtect, Rank: 0, Buffer: "payload"},
+		},
 		Assertions: []Assertion{
 			Completed(),
-			MetricAtLeast("stats.invalidate_hits", 1),
+			MetricAtLeast("stats.invalidate_hits", 2), // mprotect + unmap
 			MetricAtLeast("stats.repins", 1),
-			MetricAtLeast("stats.cache_hits", 1),
+			MetricAtLeast("stats.cache_hits", 2),
+			MetricAtLeast("stats.cache_invalidations", 1),
+			MetricBelow("stats.pin_failures", 1),
 		},
 	})
 
@@ -211,8 +227,9 @@ func init() {
 			// Idle window: the free/fork/swap faults land while the region
 			// sits pinned in the cache.
 			c.Compute(8 * sim.Millisecond)
-			// The mapping died under us; realloc (the allocator reuses the
-			// address) and the cached declaration repins on demand.
+			// The mapping died under us; the unmap notifier dropped the
+			// cached declaration, so realloc (the allocator reuses the
+			// address) gets a fresh declaration on the next send.
 			buf2 := c.Malloc(n)
 			if buf2 != buf {
 				cr.Note("allocator did not reuse the freed address")

@@ -233,7 +233,7 @@ func scheduleFault(cl *cluster.Cluster, cr *CaseRun, f Fault, budget sim.Duratio
 				return
 			}
 			cr.Note("t=%v: forked rank %d address space (COW)", eng.Now(), f.Rank)
-		case FaultFree, FaultSwapOut:
+		case FaultFree, FaultSwapOut, FaultMProtect:
 			if f.Rank >= len(cl.Endpoints) {
 				cr.Note("t=%v: %v fault: no rank %d", eng.Now(), f.Kind, f.Rank)
 				return
@@ -257,6 +257,12 @@ func scheduleFault(cl *cluster.Cluster, cr *CaseRun, f Fault, budget sim.Duratio
 					return
 				}
 				cr.Note("t=%v: freed %d/%s (%s)", eng.Now(), f.Rank, f.Buffer, report.Bytes(size))
+			} else if f.Kind == FaultMProtect {
+				if err := ep.AS.MProtect(addr, size, false); err != nil {
+					cr.Note("t=%v: mprotect fault on %d/%s failed: %v", eng.Now(), f.Rank, f.Buffer, err)
+					return
+				}
+				cr.Note("t=%v: write-protected %d/%s (%s)", eng.Now(), f.Rank, f.Buffer, report.Bytes(size))
 			} else {
 				n, err := ep.AS.SwapOut(addr, size)
 				if err != nil {
@@ -289,8 +295,10 @@ func collectStats(cr *CaseRun) {
 	var mgr core.Stats
 	var cache core.CacheStats
 	pinnedNow := 0
-	for _, ep := range cl.Endpoints {
-		m := ep.Manager().Stats()
+	// Endpoints sharing a process share one manager and one cache; fold
+	// each in once.
+	for _, p := range cl.Processes() {
+		m := p.Manager().Stats()
 		mgr.Declares += m.Declares
 		mgr.PinOps += m.PinOps
 		mgr.UnpinOps += m.UnpinOps
@@ -305,10 +313,16 @@ func collectStats(cr *CaseRun) {
 		mgr.SpeculativePins += m.SpeculativePins
 		mgr.ODPFaults += m.ODPFaults
 		mgr.ODPFaultPages += m.ODPFaultPages
-		c := ep.Cache().Stats()
+		c := p.Cache().Stats()
 		cache.Hits += c.Hits
+		cache.SubrangeHits += c.SubrangeHits
 		cache.Misses += c.Misses
-		pinnedNow += ep.Manager().PinnedPages()
+		cache.Coalesced += c.Coalesced
+		cache.Merges += c.Merges
+		cache.Evictions += c.Evictions
+		cache.Invalidations += c.Invalidations
+		cache.BytesCached += c.BytesCached
+		pinnedNow += p.Manager().PinnedPages()
 	}
 	set("stats.declares", float64(mgr.Declares))
 	set("stats.pin_ops", float64(mgr.PinOps))
@@ -325,7 +339,13 @@ func collectStats(cr *CaseRun) {
 	set("stats.odp_faults", float64(mgr.ODPFaults))
 	set("stats.odp_fault_pages", float64(mgr.ODPFaultPages))
 	set("stats.cache_hits", float64(cache.Hits))
+	set("stats.cache_subrange_hits", float64(cache.SubrangeHits))
 	set("stats.cache_misses", float64(cache.Misses))
+	set("stats.cache_coalesced", float64(cache.Coalesced))
+	set("stats.cache_merges", float64(cache.Merges))
+	set("stats.cache_evictions", float64(cache.Evictions))
+	set("stats.cache_invalidations", float64(cache.Invalidations))
+	set("stats.cache_bytes", float64(cache.BytesCached))
 	set("stats.pinned_pages_end", float64(pinnedNow))
 }
 

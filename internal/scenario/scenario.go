@@ -64,6 +64,12 @@ const (
 	// FaultFlood saturates every node's interrupt core with synthetic
 	// bottom-half work for a window — the §4.3 overload generator.
 	FaultFlood
+	// FaultMProtect write-protects a registered buffer (mprotect to
+	// read-only): the notifier fires over the whole range — pinned pages
+	// included, since a device translation that assumed write access is
+	// now wrong — so the driver unpins, while the mapping (and any cached
+	// declaration over it) stays intact. The next use repins.
+	FaultMProtect
 )
 
 // String names the fault kind for notes and tables.
@@ -77,6 +83,8 @@ func (k FaultKind) String() string {
 		return "swapout"
 	case FaultFlood:
 		return "flood"
+	case FaultMProtect:
+		return "mprotect"
 	default:
 		return fmt.Sprintf("fault(%d)", int(k))
 	}

@@ -40,6 +40,9 @@ const (
 	// OdpFault is one serviced ODP page-request round (A = pages
 	// materialized, B = pages requested).
 	OdpFault
+	// CacheInvalidate is a cached declaration dropped because an
+	// MMU-notifier invalidation overlapped it (A = vm.InvalidateReason).
+	CacheInvalidate
 	numKinds
 )
 
@@ -50,7 +53,7 @@ func (k Kind) String() string {
 		"frag-accepted", "overlap-miss-snd", "overlap-miss-rcv", "re-request",
 		"notify-sent", "msg-complete",
 		"pin-start", "pin-done", "pin-fail", "unpin", "invalidate",
-		"cache-hit", "cache-miss", "odp-fault",
+		"cache-hit", "cache-miss", "odp-fault", "cache-invalidate",
 	}
 	if int(k) < len(names) {
 		return names[k]
