@@ -52,6 +52,8 @@ Flags for bench:
   -quick           short measurement windows (CI profile)
   -pr int          PR number in the output filename (default: from CHANGES.md)
   -out string      output path (default BENCH_PR<pr>.json; "-" for stdout)
+  -guard string    prior BENCH_PR<N>.json to gate against (fail on regression)
+  -guard-slack f   allowed SimWallClock slowdown vs -guard (default 1.75)
 `)
 	os.Exit(2)
 }
@@ -189,6 +191,8 @@ func benchCmd(args []string) {
 	quick := fs.Bool("quick", false, "short measurement windows (CI profile)")
 	pr := fs.Int("pr", 0, "PR number used in the output filename (default: inferred from CHANGES.md)")
 	out := fs.String("out", "", `output path (default BENCH_PR<pr>.json; "-" for stdout)`)
+	guard := fs.String("guard", "", "prior BENCH_PR<N>.json to gate against: fail when SimWallClock regresses past -guard-slack")
+	guardSlack := fs.Float64("guard-slack", 1.75, "allowed SimWallClock slowdown factor vs the -guard artifact")
 	fs.Parse(args)
 	if *pr == 0 {
 		*pr = inferPRNumber()
@@ -229,6 +233,18 @@ func benchCmd(args []string) {
 	if rep.SpeedupVsBaseline > 0 {
 		fmt.Fprintf(os.Stderr, "SimWallClock speedup vs %s baseline (%s): %.2fx\n",
 			rep.Baseline.Commit, rep.Baseline.Name, rep.SpeedupVsBaseline)
+	}
+	if *guard != "" {
+		prior, err := bench.LoadReport(*guard)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "omxsim bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.Guard(rep, prior, *guardSlack); err != nil {
+			fmt.Fprintf(os.Stderr, "omxsim bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bench guard: SimWallClock within %.2fx of %s\n", *guardSlack, *guard)
 	}
 }
 

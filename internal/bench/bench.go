@@ -6,7 +6,9 @@ package bench
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"time"
 
@@ -212,4 +214,50 @@ func (r Report) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
+}
+
+// LoadReport reads a previously written BENCH_PR<N>.json artifact.
+func LoadReport(path string) (Report, error) {
+	var r Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Guard compares the current SimWallClock measurement against the one in
+// a prior artifact and errors when the current run is more than slack
+// times slower — the perf-acceptance gate that keeps changes on the
+// fault/pin hot path (like the reclaim hooks) from silently eroding the
+// engine-overhaul win. Slack absorbs CI machine-class variance; 1.75 is
+// generous enough that only a genuine regression (not noise) trips it.
+func Guard(cur, prior Report, slack float64) error {
+	if slack <= 0 {
+		slack = 1.75
+	}
+	find := func(r Report) (Result, bool) {
+		for _, b := range r.Benchmarks {
+			if b.Name == "SimWallClock" {
+				return b, true
+			}
+		}
+		return Result{}, false
+	}
+	c, ok := find(cur)
+	if !ok {
+		return fmt.Errorf("bench guard: current run has no SimWallClock measurement")
+	}
+	p, ok := find(prior)
+	if !ok || p.NsPerOp <= 0 {
+		return fmt.Errorf("bench guard: baseline artifact has no usable SimWallClock measurement")
+	}
+	if c.NsPerOp > p.NsPerOp*slack {
+		return fmt.Errorf("bench guard: SimWallClock %.1f ms/op is %.2fx the %.1f ms/op baseline (allowed %.2fx)",
+			c.NsPerOp/1e6, c.NsPerOp/p.NsPerOp, p.NsPerOp/1e6, slack)
+	}
+	return nil
 }

@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func reportWith(ns float64) Report {
+	return Report{Benchmarks: []Result{{Name: "SimWallClock", NsPerOp: ns}}}
+}
+
+func TestGuardPassesWithinSlack(t *testing.T) {
+	if err := Guard(reportWith(20e6), reportWith(18e6), 1.75); err != nil {
+		t.Fatalf("guard tripped inside slack: %v", err)
+	}
+}
+
+func TestGuardTripsOnRegression(t *testing.T) {
+	err := Guard(reportWith(40e6), reportWith(18e6), 1.75)
+	if err == nil {
+		t.Fatal("2.2x regression passed the guard")
+	}
+	if !strings.Contains(err.Error(), "SimWallClock") {
+		t.Fatalf("unhelpful guard error: %v", err)
+	}
+}
+
+func TestGuardRejectsUnusableBaseline(t *testing.T) {
+	if err := Guard(reportWith(20e6), Report{}, 1.75); err == nil {
+		t.Fatal("missing baseline measurement accepted")
+	}
+	if err := Guard(Report{}, reportWith(18e6), 1.75); err == nil {
+		t.Fatal("missing current measurement accepted")
+	}
+}
+
+func TestGuardAgainstCheckedInArtifact(t *testing.T) {
+	prior, err := LoadReport("../../BENCH_PR2.json")
+	if err != nil {
+		t.Fatalf("checked-in artifact unreadable: %v", err)
+	}
+	if _, ok := func() (Result, bool) {
+		for _, b := range prior.Benchmarks {
+			if b.Name == "SimWallClock" {
+				return b, true
+			}
+		}
+		return Result{}, false
+	}(); !ok {
+		t.Fatal("BENCH_PR2.json lost its SimWallClock entry — the CI guard would be vacuous")
+	}
+}

@@ -34,6 +34,12 @@ type Config struct {
 	// OMX is the per-endpoint Open-MX configuration (pinning policy, cache,
 	// I/OAT, ...).
 	OMX omx.Config
+	// Mem is the per-node physical-memory pressure model: a frame budget
+	// with kswapd watermarks. With Mem.Frames > 0 every node runs a
+	// kswapd and allocations past capacity stall in direct reclaim, so
+	// swap pressure emerges from the allocator (the pressure-* scenario
+	// family) instead of the fault injector.
+	Mem omx.MemConfig
 	// RxCoreIdx is the core servicing NIC interrupts on every node
 	// (default 0).
 	RxCoreIdx int
@@ -106,6 +112,7 @@ func New(cfg Config) (*Cluster, error) {
 	cl := &Cluster{Eng: eng, Fabric: fabric}
 	for n := 0; n < cfg.Nodes; n++ {
 		node := omx.NewNode(eng, fabric, cfg.Spec, n, cfg.RxCoreIdx)
+		node.ConfigureMemory(cfg.Mem)
 		cl.Nodes = append(cl.Nodes, node)
 		var proc *omx.Process
 		for r := 0; r < cfg.RanksPerNode; r++ {

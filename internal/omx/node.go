@@ -41,6 +41,10 @@ type Node struct {
 	endpoints map[int]*Endpoint
 	stats     NodeStats
 
+	// kswapd is the background reclaimer started by ConfigureMemory
+	// (nil while physical memory is unbounded).
+	kswapd *sim.Recurring
+
 	// intrDelay is the latency between a frame landing in the NIC ring and
 	// its bottom half being runnable (IRQ signalling + NAPI scheduling).
 	// It is pure pipeline latency — it does not consume core time — and is

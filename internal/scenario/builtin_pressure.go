@@ -1,0 +1,207 @@
+// builtin_pressure.go registers the pressure-* scenario family: runs
+// where swap-outs are *emergent* — produced by the allocator hitting a
+// per-node frame budget (cluster.Config.Mem) and the vm reclaim
+// subsystem stealing cold pages — instead of injected by a FaultSwapOut.
+// This is the regime the paper's cost model describes: pinned pages are
+// unreclaimable, so the pinned backends hold their working sets against
+// kswapd while the page-table-translated backends absorb reclaim as
+// device faults.
+package scenario
+
+import (
+	"fmt"
+
+	"omxsim/internal/cluster"
+	"omxsim/internal/core"
+	"omxsim/internal/mpi"
+	"omxsim/internal/omx"
+	"omxsim/internal/sim"
+	"omxsim/internal/vm"
+)
+
+// pressureWorkload streams a fixed-size message between rank pairs
+// (rank i on node 0 -> rank i+half on node 1) while every rank dirties a
+// churn buffer each round — the memory hog that overcommits the node's
+// frame budget. The comm buffer is written first, so its frames are the
+// oldest the reclaim scan visits: a pinned backend must resist exactly
+// there. churnCompute gives kswapd simulated time to run between rounds.
+func pressureWorkload(rounds, commBytes, churnBytes int, churnCompute sim.Duration) Workload {
+	return func(c *mpi.Comm, cr *CaseRun) {
+		half := c.Size() / 2
+		comm := c.Malloc(commBytes)
+		churn := c.Malloc(churnBytes)
+		cr.RegisterBuffer(c.Rank(), "comm", comm, commBytes)
+		payload := make([]byte, commBytes)
+		for i := range payload {
+			payload[i] = byte(c.Rank() + i)
+		}
+		c.WriteBytes(comm, payload)
+		if cr.Param("advise") != "" {
+			c.Advise(comm, commBytes)
+		}
+		dirt := make([]byte, vm.PageSize)
+		for i := range dirt {
+			dirt[i] = byte(i + 1)
+		}
+		c.Barrier()
+		start := c.Now()
+		for r := 0; r < rounds; r++ {
+			for off := 0; off < churnBytes; off += vm.PageSize {
+				c.WriteBytes(churn+vm.Addr(off), dirt)
+			}
+			c.Compute(churnCompute)
+			if c.Rank() < half {
+				c.Send(comm, commBytes, c.Rank()+half, 31)
+			} else {
+				c.Recv(comm, commBytes, c.Rank()-half, 31)
+			}
+		}
+		c.Barrier()
+		if c.Rank() == 0 {
+			elapsed := c.Now() - start
+			cr.Metric("mbps", float64(rounds)*float64(commBytes)/elapsed.Seconds()/(1<<20))
+		}
+	}
+}
+
+// emergentSteals asserts reclaim actually ran — the family's defining
+// property, with no swap injector anywhere in these scenarios.
+func emergentSteals() Assertion {
+	return EachCase("emergent reclaim steals pages (no injector)", func(cr *CaseRun) (bool, string) {
+		if cr.Metrics["stats.pgsteal"] < 1 {
+			return false, fmt.Sprintf("pgsteal = %g", cr.Metrics["stats.pgsteal"])
+		}
+		return true, ""
+	})
+}
+
+func init() {
+	// pressure-churn: steady-state churn under a tight budget with a
+	// single decoupled-pinning case — the focus is the reclaim machinery
+	// itself: kswapd wakes on the watermark between rounds, direct
+	// reclaim stalls inside the rounds, pages cycle through swap and
+	// back, and the ledger still balances.
+	MustRegister(&Scenario{
+		Name:        "pressure-churn",
+		Description: "Steady-state allocator churn against a per-node frame budget: kswapd watermark reclaim plus direct-reclaim stalls, injector-free",
+		Cluster: cluster.Config{
+			Nodes: 2,
+			Mem:   omx.MemConfig{Frames: 640}, // comm (256) + churn (512) overcommit it
+		},
+		Cases: []Case{
+			{Label: "cache", OMX: omx.DefaultConfig(core.OnDemand, true)},
+		},
+		Metric:   "mbps",
+		Workload: pressureWorkload(6, 1<<20, 2<<20, 500*sim.Microsecond),
+		Assertions: []Assertion{
+			Completed(),
+			MetricPositive("mbps"),
+			PinAccountingBalanced(),
+			emergentSteals(),
+			MetricAtLeast("stats.kswapd_runs", 1),
+			MetricAtLeast("stats.direct_reclaim_stalls", 1),
+			MetricAtLeast("stats.swap_ins", 1),
+			EachCase("frame budget holds", func(cr *CaseRun) (bool, string) {
+				for _, n := range cr.Cluster.Nodes {
+					if used := n.Phys.PeakFrames(); used > n.Phys.Capacity() {
+						return false, fmt.Sprintf("node %d peaked at %d frames (capacity %d)",
+							n.ID, used, n.Phys.Capacity())
+					}
+				}
+				return true, ""
+			}),
+		},
+	})
+
+	// pressure-policies: the paper's unreclaimable-pinned-pages claim,
+	// measured. Same emergent pressure for every backend; the pinned
+	// backends hold their comm working set (reclaim scans it, counts a
+	// resist, steals churn pages instead) while ODP lets the comm buffer
+	// be reclaimed and absorbs the pressure as device page faults.
+	MustRegister(&Scenario{
+		Name:        "pressure-policies",
+		Description: "Pinned vs ODP vs pin-ahead under emergent reclaim: pinned working sets resist, ODP absorbs reclaim as faults",
+		Cluster: cluster.Config{
+			Nodes: 2,
+			Mem:   omx.MemConfig{Frames: 640},
+		},
+		Cases: []Case{
+			{Label: "cache", OMX: omx.DefaultConfig(core.OnDemand, true)},
+			{Label: "overlapped-cache", OMX: omx.DefaultConfig(core.Overlapped, true)},
+			{Label: "pin-ahead", OMX: omx.DefaultConfig(core.PinAhead, true),
+				Params: map[string]string{"advise": "1"}},
+			{Label: "odp", OMX: omx.DefaultConfig(core.NoPinODP, true)},
+		},
+		Metric:   "mbps",
+		Workload: pressureWorkload(6, 1<<20, 2<<20, 500*sim.Microsecond),
+		Assertions: []Assertion{
+			Completed(),
+			MetricPositive("mbps"),
+			PinAccountingBalanced(),
+			emergentSteals(),
+			MetricAtLeast("stats.swap_ins", 1),
+			EachCaseWhere("pinned backends hold their working set",
+				PolicyCases("on-demand", "overlapped", "pin-ahead"),
+				func(cr *CaseRun) (bool, string) {
+					if cr.Metrics["stats.pinned_resists"] < 1 {
+						return false, fmt.Sprintf("pinned_resists = %g (reclaim never hit the pinned set)",
+							cr.Metrics["stats.pinned_resists"])
+					}
+					if f := cr.Metrics["stats.pin_failures"]; f != 0 {
+						return false, fmt.Sprintf("pin_failures = %g", f)
+					}
+					if rp := cr.Metrics["stats.repins"]; rp != 0 {
+						return false, fmt.Sprintf("repins = %g: reclaim invalidated a pinned region", rp)
+					}
+					return true, ""
+				}),
+			EachCaseWhere("odp absorbs reclaim as device faults", PolicyCases("odp"),
+				func(cr *CaseRun) (bool, string) {
+					if cr.Metrics["stats.odp_faults"] < 1 {
+						return false, fmt.Sprintf("odp_faults = %g", cr.Metrics["stats.odp_faults"])
+					}
+					if p := cr.Metrics["stats.pages_pinned"]; p != 0 {
+						return false, fmt.Sprintf("pages_pinned = %g", p)
+					}
+					return true, ""
+				}),
+		},
+	})
+
+	// pressure-multitenant: three tenants per node share one frame
+	// budget, so one tenant's churn steals another's cold pages — the
+	// cross-process contention a per-endpoint pinned-page limit cannot
+	// model. The churn loop allocates faster than the kswapd period, so
+	// direct-reclaim stalls are guaranteed on the allocation path.
+	MustRegister(&Scenario{
+		Name:        "pressure-multitenant",
+		Description: "3 tenants per node contending for one frame budget: cross-process reclaim, direct-reclaim stalls, pinned sets intact",
+		Cluster: cluster.Config{
+			Nodes:        2,
+			RanksPerNode: 3,
+			Mem:          omx.MemConfig{Frames: 768},
+		},
+		Cases: []Case{
+			{Label: "cache", OMX: omx.DefaultConfig(core.OnDemand, true)},
+			{Label: "odp", OMX: omx.DefaultConfig(core.NoPinODP, true)},
+			{Label: "no-pinning", OMX: omx.DefaultConfig(core.NoPinning, true)},
+		},
+		Metric:   "mbps",
+		Workload: pressureWorkload(4, 512*1024, 1<<20, 300*sim.Microsecond),
+		Assertions: []Assertion{
+			Completed(),
+			MetricPositive("mbps"),
+			PinAccountingBalanced(),
+			emergentSteals(),
+			MetricAtLeast("stats.direct_reclaim_stalls", 1),
+			EachCaseWhere("pinned tenants keep their comm buffers",
+				PolicyCases("on-demand"),
+				func(cr *CaseRun) (bool, string) {
+					if f := cr.Metrics["stats.pin_failures"]; f != 0 {
+						return false, fmt.Sprintf("pin_failures = %g", f)
+					}
+					return true, ""
+				}),
+		},
+	})
+}

@@ -12,6 +12,7 @@ import (
 	"omxsim/internal/omx"
 	"omxsim/internal/report"
 	"omxsim/internal/sim"
+	"omxsim/internal/vm"
 )
 
 // floodCap bounds a flood fault with For == 0 in a scenario without a
@@ -292,12 +293,42 @@ func collectStats(cr *CaseRun) {
 	set("stats.rereqs", float64(st.ReRequests))
 	set("stats.retransmits", float64(st.Retransmits))
 
+	// Reclaim counters are per node (one PhysMem per host), swap-in
+	// counts per process address space.
+	var rs vm.ReclaimStats
+	swappedEnd, peakOccupied := 0, 0
+	for _, n := range cl.Nodes {
+		s := n.Phys.ReclaimStats()
+		rs.PgScan += s.PgScan
+		rs.PgSteal += s.PgSteal
+		rs.PinnedResists += s.PinnedResists
+		rs.KswapdRuns += s.KswapdRuns
+		rs.KswapdSteals += s.KswapdSteals
+		rs.DirectStalls += s.DirectStalls
+		rs.DirectSteals += s.DirectSteals
+		rs.Failures += s.Failures
+		swappedEnd += n.Phys.SwappedPages()
+		peakOccupied += n.Phys.PeakOccupied()
+	}
+	set("stats.pgscan", float64(rs.PgScan))
+	set("stats.pgsteal", float64(rs.PgSteal))
+	set("stats.pinned_resists", float64(rs.PinnedResists))
+	set("stats.kswapd_runs", float64(rs.KswapdRuns))
+	set("stats.kswapd_steals", float64(rs.KswapdSteals))
+	set("stats.direct_reclaim_stalls", float64(rs.DirectStalls))
+	set("stats.direct_reclaim_steals", float64(rs.DirectSteals))
+	set("stats.reclaim_failures", float64(rs.Failures))
+	set("stats.swapped_pages_end", float64(swappedEnd))
+	set("stats.peak_occupied_pages", float64(peakOccupied))
+
 	var mgr core.Stats
 	var cache core.CacheStats
+	var swapIns uint64
 	pinnedNow := 0
 	// Endpoints sharing a process share one manager and one cache; fold
 	// each in once.
 	for _, p := range cl.Processes() {
+		swapIns += p.AS.SwapIns()
 		m := p.Manager().Stats()
 		mgr.Declares += m.Declares
 		mgr.PinOps += m.PinOps
@@ -347,6 +378,7 @@ func collectStats(cr *CaseRun) {
 	set("stats.cache_invalidations", float64(cache.Invalidations))
 	set("stats.cache_bytes", float64(cache.BytesCached))
 	set("stats.pinned_pages_end", float64(pinnedNow))
+	set("stats.swap_ins", float64(swapIns))
 }
 
 // buildTables renders the automatic tables: the size × case matrix of the

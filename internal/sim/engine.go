@@ -89,6 +89,10 @@ type Event struct {
 	state uint8
 	// pooled marks zero-delay events eligible for recycling after firing.
 	pooled bool
+	// daemon marks background events (recurring kernel work like kswapd)
+	// that must not keep Run/RunUntil alive: the run loops stop once only
+	// daemon events remain pending.
+	daemon bool
 }
 
 // When reports the simulated time at which the event will fire.
@@ -106,6 +110,9 @@ func (ev *Event) Cancel() bool {
 	ev.fn = nil
 	if ev.eng != nil {
 		ev.eng.pending--
+		if ev.daemon {
+			ev.eng.daemonPending--
+		}
 	}
 	return true
 }
@@ -258,6 +265,12 @@ type Engine struct {
 	stepHook func(Time)
 	fired    uint64
 	pending  int // live (scheduled, not fired, not cancelled) events
+	// daemonPending counts the subset of pending events that are daemon
+	// (background) work; Run/RunUntil stop when pending == daemonPending.
+	daemonPending int
+	// recurrings tracks live Every handles so RunUntil's clock bump can
+	// re-arm ticks it jumped past (see rearmStaleRecurrings).
+	recurrings []*Recurring
 
 	// Tier 0: zero-delay FIFO ring (events with when == now).
 	fastq    []*Event
@@ -324,7 +337,7 @@ func (e *Engine) At(t Time, fn func()) *Event {
 			ev = e.pool[n-1]
 			e.pool[n-1] = nil
 			e.pool = e.pool[:n-1]
-			ev.when, ev.seq, ev.fn, ev.state = t, e.seq, fn, evPending
+			ev.when, ev.seq, ev.fn, ev.state, ev.daemon = t, e.seq, fn, evPending, false
 		} else {
 			ev = &Event{when: t, seq: e.seq, fn: fn, eng: e, index: -1, pooled: true}
 		}
@@ -501,6 +514,9 @@ func (e *Engine) fire(ev *Event) {
 	ev.fn = nil
 	ev.state = evFired
 	e.pending--
+	if ev.daemon {
+		e.daemonPending--
+	}
 	if ev.pooled {
 		e.pool = append(e.pool, ev)
 	}
@@ -587,21 +603,36 @@ func (e *Engine) step(deadline Time) bool {
 			return false
 		}
 		if t <= e.now {
-			panic(fmt.Sprintf("sim: queue invariant broken: next event at %v with now %v", t, e.now))
+			// An instant at or before now can only hold events that were
+			// cancelled before a RunUntil clock bump jumped past them
+			// (the wheel's cached slot minimums do not see cancellation).
+			// Sweep the instant: loadInstant drops cancelled events and
+			// re-files live slot-mates with later timestamps; only a live
+			// event genuinely in the past breaks the queue invariant.
+			e.loadInstant(t)
+			if e.curIdx < len(e.cur) {
+				panic(fmt.Sprintf("sim: queue invariant broken: next event at %v with now %v", t, e.now))
+			}
+			continue
 		}
 		e.loadInstant(t)
 	}
 }
 
-// Run fires events until the queue drains or Stop is called.
+// Run fires events until the queue drains (only daemon events left) or
+// Stop is called. Daemon events still fire while foreground events remain
+// — they just cannot keep the simulation alive on their own.
 func (e *Engine) Run() {
 	e.stopped = false
-	for !e.stopped && e.Step() {
+	for !e.stopped && e.pending > e.daemonPending && e.Step() {
 	}
 }
 
 // RunUntil fires events with timestamps <= deadline, leaving later events
-// queued, and advances the clock to deadline.
+// queued, and advances the clock to deadline. Unlike Run, daemon events
+// keep firing through the whole window even when no foreground work
+// remains — the deadline already bounds termination, and background
+// work like kswapd must run during idle windows (that is its job).
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
 	for !e.stopped && e.step(deadline) {
@@ -609,6 +640,10 @@ func (e *Engine) RunUntil(deadline Time) {
 	if e.now < deadline {
 		e.now = deadline
 	}
+	// A Stop() mid-window can leave daemon ticks armed at or before the
+	// bumped clock; re-file them after now so a later Run/Step never
+	// finds an event in the past.
+	e.rearmStaleRecurrings()
 }
 
 // Stop makes Run/RunUntil return after the current event completes.

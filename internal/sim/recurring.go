@@ -1,0 +1,81 @@
+package sim
+
+import "fmt"
+
+// Recurring is a periodic background task on the engine — the modeling
+// primitive for kernel daemons like kswapd that run forever on a timer.
+// Its events are daemon events: they fire in timestamp order like any
+// other event while foreground work exists, but they never keep
+// Run/RunUntil alive on their own, so a simulation still terminates when
+// the workload drains.
+type Recurring struct {
+	eng     *Engine
+	period  Duration
+	fn      func()
+	ev      *Event
+	stopped bool
+	runs    uint64
+}
+
+// Every schedules fn to run every period nanoseconds of simulated time,
+// starting one period from now, as daemon work. Stop the returned handle
+// to cancel it.
+func (e *Engine) Every(period Duration, fn func()) *Recurring {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: recurring period %d", period))
+	}
+	r := &Recurring{eng: e, period: period, fn: fn}
+	e.recurrings = append(e.recurrings, r)
+	r.arm()
+	return r
+}
+
+// rearmStaleRecurrings re-schedules recurring tasks whose pending tick
+// was left at or before now by a RunUntil clock bump (RunUntil stops
+// early when only daemon events remain, then advances the clock to the
+// deadline). Without this, a later Run/Step would find an event in the
+// past and trip the queue invariant.
+func (e *Engine) rearmStaleRecurrings() {
+	for _, r := range e.recurrings {
+		if !r.stopped && r.ev != nil && r.ev.state == evPending && r.ev.when <= e.now {
+			r.ev.Cancel()
+			r.arm()
+		}
+	}
+}
+
+func (r *Recurring) arm() {
+	r.ev = r.eng.At(r.eng.now+r.period, r.tick)
+	r.ev.daemon = true
+	r.eng.daemonPending++
+}
+
+func (r *Recurring) tick() {
+	if r.stopped {
+		return
+	}
+	r.runs++
+	r.fn()
+	if !r.stopped {
+		r.arm()
+	}
+}
+
+// Stop cancels the recurring task; the callback will not fire again.
+// Stopping an already-stopped task is a no-op.
+func (r *Recurring) Stop() {
+	if r.stopped {
+		return
+	}
+	r.stopped = true
+	r.ev.Cancel()
+	for i, x := range r.eng.recurrings {
+		if x == r {
+			r.eng.recurrings = append(r.eng.recurrings[:i], r.eng.recurrings[i+1:]...)
+			break
+		}
+	}
+}
+
+// Runs reports how many times the callback has fired.
+func (r *Recurring) Runs() uint64 { return r.runs }

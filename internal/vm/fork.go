@@ -25,8 +25,12 @@ func (as *AddressSpace) Fork(childPID int) (*AddressSpace, error) {
 			switch {
 			case p.present && p.frame.pinRefs > 0:
 				// Child gets its own frame; parent stays writable and pinned.
-				f, err := as.phys.alloc()
+				f, err := as.allocFrame()
 				if err != nil {
+					// Roll the half-built child back (Linux tears down the
+					// partial mm on fork failure): drop every reference the
+					// child's PTEs took so no frames or swap slots leak.
+					child.abortFork()
 					return nil, err
 				}
 				if p.frame.data != nil {
@@ -35,6 +39,7 @@ func (as *AddressSpace) Fork(childPID int) (*AddressSpace, error) {
 				}
 				f.mapRefs++
 				cv.ptes[i] = pte{frame: f, present: true, writable: true}
+				child.installFrame(f, v.start+Addr(i)<<PageShift)
 			case p.present:
 				// Share read-only; either side's next write breaks COW.
 				p.writable = false
@@ -42,6 +47,10 @@ func (as *AddressSpace) Fork(childPID int) (*AddressSpace, error) {
 				cv.ptes[i] = pte{frame: p.frame, present: true, writable: false}
 			case p.swapped:
 				// The child aliases the swapped contents copy-on-reference.
+				// Both sides come back from swap read-only, like the
+				// present COW case: the first write after swap-in breaks
+				// the share.
+				p.swapWritable = false
 				cp := pte{swapped: true}
 				if p.swapData != nil {
 					cp.swapData = p.swapData
@@ -49,8 +58,23 @@ func (as *AddressSpace) Fork(childPID int) (*AddressSpace, error) {
 					p.swapShared = true
 				}
 				cv.ptes[i] = cp
+				as.phys.swapAdded(cp.swapData)
 			}
 		}
 	}
 	return child, nil
+}
+
+// abortFork releases everything a partially-built child holds, so a fork
+// that fails under memory pressure leaks neither frames nor swap slots.
+// Parent pages already marked read-only for the aborted share stay
+// read-only — conservative but safe: the next parent write takes a
+// (spurious) COW break on a now-exclusive frame.
+func (child *AddressSpace) abortFork() {
+	for _, cv := range child.vmas {
+		for i := range cv.ptes {
+			child.dropPTE(&cv.ptes[i])
+		}
+	}
+	child.vmas = nil
 }

@@ -1,0 +1,199 @@
+package vm
+
+import "testing"
+
+// selfUnregisteringNotifier removes itself from the address space on its
+// first callback — what a driver teardown racing an invalidation does.
+type selfUnregisteringNotifier struct {
+	as    *AddressSpace
+	calls int
+}
+
+func (n *selfUnregisteringNotifier) InvalidateRange(NotifierRange) {
+	n.calls++
+	n.as.UnregisterNotifier(n)
+}
+
+// TestNotifySurvivesUnregisterDuringCallback is the regression test for
+// the notifier-iteration bug: UnregisterNotifier during a callback shifts
+// the notifier slice under a live range loop, which used to make notify
+// skip the next listener entirely. Every registered notifier must see the
+// event, regardless of what earlier callbacks do to the list.
+func TestNotifySurvivesUnregisterDuringCallback(t *testing.T) {
+	as := NewAddressSpace(1, NewPhysMem(0))
+	first := &selfUnregisteringNotifier{as: as}
+	second := &recordingNotifier{}
+	third := &recordingNotifier{}
+	as.RegisterNotifier(first)
+	as.RegisterNotifier(second)
+	as.RegisterNotifier(third)
+
+	addr, _ := as.Mmap(PageSize)
+	if err := as.Munmap(addr, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if first.calls != 1 {
+		t.Fatalf("first notifier called %d times, want 1", first.calls)
+	}
+	// The live-slice iteration bug skipped the listener after the
+	// unregistering one and double-delivered to the stale tail slot.
+	if len(second.ranges) != 1 {
+		t.Fatalf("second notifier saw %d events, want 1", len(second.ranges))
+	}
+	if len(third.ranges) != 1 {
+		t.Fatalf("third notifier saw %d events, want 1", len(third.ranges))
+	}
+	// The unregistration stuck: the next event reaches only the survivors.
+	addr2, _ := as.Mmap(PageSize)
+	if err := as.Munmap(addr2, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if first.calls != 1 || len(second.ranges) != 2 || len(third.ranges) != 2 {
+		t.Fatalf("after unregister: first = %d calls, second = %d, third = %d events",
+			first.calls, len(second.ranges), len(third.ranges))
+	}
+}
+
+// registeringNotifier attaches a new listener from inside a callback.
+type registeringNotifier struct {
+	as    *AddressSpace
+	added *recordingNotifier
+}
+
+func (n *registeringNotifier) InvalidateRange(NotifierRange) {
+	if n.added == nil {
+		n.added = &recordingNotifier{}
+		n.as.RegisterNotifier(n.added)
+	}
+}
+
+// TestNotifyRegisterDuringCallback: a listener registered mid-event does
+// not see the in-flight event but sees subsequent ones.
+func TestNotifyRegisterDuringCallback(t *testing.T) {
+	as := NewAddressSpace(1, NewPhysMem(0))
+	reg := &registeringNotifier{as: as}
+	as.RegisterNotifier(reg)
+	addr, _ := as.Mmap(2 * PageSize)
+	if err := as.Munmap(addr, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if reg.added == nil || len(reg.added.ranges) != 0 {
+		t.Fatalf("mid-event registration saw the in-flight event")
+	}
+	if err := as.Munmap(addr+PageSize, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if len(reg.added.ranges) != 1 {
+		t.Fatalf("late-registered notifier saw %d events, want 1", len(reg.added.ranges))
+	}
+}
+
+// TestSwapRoundTripPreservesReadOnly is the regression test for the
+// swap-in writability bug: a read-only (COW/mprotect-protected) page that
+// takes a swap round trip used to come back silently writable, so the
+// next application write skipped breakCOW — no COW notifier fired and the
+// driver kept a translation that assumed the old sharing. The write after
+// swap-in must still break COW.
+func TestSwapRoundTripPreservesReadOnly(t *testing.T) {
+	as := NewAddressSpace(1, NewPhysMem(0))
+	rec := &recordingNotifier{}
+	as.RegisterNotifier(rec)
+	addr, _ := as.Mmap(PageSize)
+	if err := as.Write(addr, []byte{42}); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.MarkCOW(addr, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := as.SwapOut(addr, PageSize); err != nil || n != 1 {
+		t.Fatalf("SwapOut = (%d, %v)", n, err)
+	}
+	// Read fault brings the page back; it must stay read-only.
+	if err := as.Read(addr, make([]byte, 1)); err != nil {
+		t.Fatal(err)
+	}
+	cowsBefore := as.COWBreaks()
+	if err := as.Write(addr, []byte{43}); err != nil {
+		t.Fatal(err)
+	}
+	if as.COWBreaks() != cowsBefore+1 {
+		t.Fatalf("write after swap round trip did not break COW (breaks %d -> %d)",
+			cowsBefore, as.COWBreaks())
+	}
+	found := false
+	for _, nr := range rec.ranges {
+		if nr.Reason == InvalidateCOW && nr.Start == addr {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no InvalidateCOW notification for the post-swap write")
+	}
+}
+
+// TestSwapOutKeepsDataOfSharedFrame covers the companion sweep fix: a
+// COW-shared frame (parent and child map it after fork) used to have its
+// data *stolen* when one side swapped out, so the other side silently
+// read zeros. Swap-out of a still-mapped frame must snapshot, not steal.
+func TestSwapOutKeepsDataOfSharedFrame(t *testing.T) {
+	as := NewAddressSpace(1, NewPhysMem(0))
+	addr, _ := as.Mmap(PageSize)
+	payload := []byte("shared-after-fork")
+	if err := as.Write(addr, payload); err != nil {
+		t.Fatal(err)
+	}
+	child, err := as.Fork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := as.SwapOut(addr, PageSize); err != nil || n != 1 {
+		t.Fatalf("SwapOut = (%d, %v)", n, err)
+	}
+	got := make([]byte, len(payload))
+	if err := child.Read(addr, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("child read %q after parent swap-out, want %q", got, payload)
+	}
+	// The parent's copy survives the round trip too.
+	if err := as.Read(addr, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("parent read %q after swap round trip, want %q", got, payload)
+	}
+}
+
+// TestForkSwappedPageComesBackReadOnly: both sides of a fork-shared
+// *swapped* page fault back in read-only, so the first write after
+// swap-in breaks the share instead of scribbling on aliased data.
+func TestForkSwappedPageComesBackReadOnly(t *testing.T) {
+	as := NewAddressSpace(1, NewPhysMem(0))
+	addr, _ := as.Mmap(PageSize)
+	if err := as.Write(addr, []byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := as.SwapOut(addr, PageSize); err != nil || n != 1 {
+		t.Fatalf("SwapOut = (%d, %v)", n, err)
+	}
+	child, err := as.Fork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parent writes after swap-in: must COW-break, leaving the child's
+	// aliased swap data intact.
+	if err := as.Write(addr, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if as.COWBreaks() != 1 {
+		t.Fatalf("parent COWBreaks = %d, want 1", as.COWBreaks())
+	}
+	got := make([]byte, 1)
+	if err := child.Read(addr, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 7 {
+		t.Fatalf("child read %d after parent's post-swap write, want 7", got[0])
+	}
+}

@@ -69,7 +69,21 @@ type Frame struct {
 	shared  bool // data is aliased by a Buf or another frame: copy on write
 	mapRefs int  // number of PTEs referencing this frame
 	pinRefs int  // get_user_pages-style references
-	freed   bool
+	// kernRefs are transient in-kernel references (get_page-style) held
+	// across an allocation inside breakCOW/Migrate so direct reclaim
+	// cannot steal the frame mid-operation. Unlike pinRefs they are not
+	// user pins: the reclaim scan skips them without counting a
+	// pinned-resist, keeping the paper-facing metric honest.
+	kernRefs int
+	freed    bool
+
+	// Reverse mapping and LRU linkage, maintained only on bounded PhysMem
+	// (see reclaim.go): owner/vaddr record the (single) mapping reclaim
+	// would tear down, lruPrev/lruNext thread the active/inactive lists.
+	owner            *AddressSpace
+	vaddr            Addr
+	lruPrev, lruNext *Frame
+	onLRU            uint8
 }
 
 // PFN returns the frame's physical frame number.
@@ -182,6 +196,22 @@ type PhysMem struct {
 	nextPFN  uint64
 	inUse    int
 	peak     int
+
+	// Reclaim state (see reclaim.go). Watermarks are in free frames;
+	// active/inactive are the frame LRU lists; inReclaim is the
+	// PF_MEMALLOC-style recursion guard.
+	lowWater, highWater int
+	active, inactive    lruList
+	inReclaim           bool
+	onReclaim           func(scanned, stolen int, direct bool)
+	rstats              ReclaimStats
+
+	// Swap accounting: pages whose frames were released but whose bytes
+	// stay alive in swapData (FramesInUse alone under-reports occupancy
+	// under pressure).
+	swappedPages int
+	swappedBytes int
+	peakOccupied int
 }
 
 // NewPhysMem returns physical memory with capacity frames (0 = unlimited).
@@ -198,6 +228,17 @@ func (pm *PhysMem) PeakFrames() int { return pm.peak }
 // Capacity reports the configured frame limit (0 = unlimited).
 func (pm *PhysMem) Capacity() int { return pm.capacity }
 
+// SetCapacity bounds a previously unbounded allocator (the node layer
+// configures its memory budget right after construction). It must be
+// called before any frame is allocated: frames faulted while unbounded
+// carry no reverse mapping and would be invisible to reclaim.
+func (pm *PhysMem) SetCapacity(frames int) {
+	if pm.inUse > 0 || pm.nextPFN > 0 {
+		panic("vm: SetCapacity after frames were allocated")
+	}
+	pm.capacity = frames
+}
+
 func (pm *PhysMem) alloc() (*Frame, error) {
 	if pm.capacity > 0 && pm.inUse >= pm.capacity {
 		return nil, ErrNoMemory
@@ -206,6 +247,9 @@ func (pm *PhysMem) alloc() (*Frame, error) {
 	pm.inUse++
 	if pm.inUse > pm.peak {
 		pm.peak = pm.inUse
+	}
+	if occ := pm.OccupiedPages(); occ > pm.peakOccupied {
+		pm.peakOccupied = occ
 	}
 	return &Frame{pfn: pm.nextPFN}, nil
 }
@@ -217,6 +261,8 @@ func (pm *PhysMem) release(f *Frame) {
 	if f.mapRefs != 0 || f.pinRefs != 0 {
 		panic(fmt.Sprintf("vm: freeing frame %d with refs map=%d pin=%d", f.pfn, f.mapRefs, f.pinRefs))
 	}
+	pm.lruRemove(f)
+	f.owner = nil
 	f.freed = true
 	f.data = nil
 	pm.inUse--
@@ -230,7 +276,12 @@ type pte struct {
 	swapped    bool
 	swapData   []byte // contents saved at swap-out
 	swapShared bool   // swapData aliases a shared buffer
-	pins       int    // pins through *this mapping*
+	// swapWritable preserves writability across a swap round trip: a
+	// COW-shared read-only page must come back read-only so the next
+	// write still runs breakCOW (and fires its notifier) instead of
+	// silently scribbling on a shared frame.
+	swapWritable bool
+	pins         int // pins through *this mapping*
 }
 
 // vma is a mapped virtual region (anonymous memory only) together with its
@@ -305,6 +356,12 @@ type AddressSpace struct {
 	phys      *PhysMem
 	vmas      []*vma // sorted by start
 	notifiers []Notifier
+	// notifying is the notify() recursion depth; while it is non-zero,
+	// UnregisterNotifier nils the slot instead of shifting the slice
+	// (notifiersDirty defers the compaction), so a callback removing a
+	// listener never makes the iteration skip the next one.
+	notifying      int
+	notifiersDirty bool
 
 	mmapNext Addr // bump pointer for fresh mappings
 
@@ -354,20 +411,49 @@ func (as *AddressSpace) RegisterNotifier(n Notifier) {
 	as.notifiers = append(as.notifiers, n)
 }
 
-// UnregisterNotifier detaches a notifier.
+// UnregisterNotifier detaches a notifier. Mid-callback removal is safe:
+// the in-flight notify() sees the slot nil out instead of the list
+// shifting under its cursor.
 func (as *AddressSpace) UnregisterNotifier(n Notifier) {
 	for i, x := range as.notifiers {
 		if x == n {
-			as.notifiers = append(as.notifiers[:i], as.notifiers[i+1:]...)
+			if as.notifying > 0 {
+				as.notifiers[i] = nil
+				as.notifiersDirty = true
+			} else {
+				as.notifiers = append(as.notifiers[:i], as.notifiers[i+1:]...)
+			}
 			return
 		}
 	}
 }
 
+// notify delivers one invalidation to every registered listener. It runs
+// allocation-free (reclaim fires it once per stolen page): instead of
+// snapshotting the list, it captures the length — listeners registered
+// during a callback do not see the in-flight event, matching the
+// srcu-protected semantics in Linux — and relies on UnregisterNotifier
+// nil-ing slots mid-delivery. Compaction happens when the outermost
+// delivery finishes.
 func (as *AddressSpace) notify(start, end Addr, reason InvalidateReason) {
 	as.notifyCount[reason]++
-	for _, n := range as.notifiers {
-		n.InvalidateRange(NotifierRange{Start: start, End: end, Reason: reason})
+	as.notifying++
+	count := len(as.notifiers)
+	for i := 0; i < count; i++ {
+		if n := as.notifiers[i]; n != nil {
+			n.InvalidateRange(NotifierRange{Start: start, End: end, Reason: reason})
+		}
+	}
+	as.notifying--
+	if as.notifying == 0 && as.notifiersDirty {
+		kept := as.notifiers[:0]
+		for _, n := range as.notifiers {
+			if n != nil {
+				kept = append(kept, n)
+			}
+		}
+		as.notifiers = kept
+		as.notifiersDirty = false
 	}
 }
 
@@ -504,7 +590,8 @@ func (as *AddressSpace) removeVMARange(start, end Addr) {
 }
 
 // dropPTE tears down a translation, releasing the frame reference held by
-// the mapping.
+// the mapping. Swapped PTEs release their swap slot, which the occupancy
+// accounting must see.
 func (as *AddressSpace) dropPTE(p *pte) {
 	if p.present {
 		p.frame.mapRefs--
@@ -512,7 +599,14 @@ func (as *AddressSpace) dropPTE(p *pte) {
 		// are tracked by the Pinned handle, not by the PTE.
 		if p.frame.mapRefs == 0 && p.frame.pinRefs == 0 {
 			as.phys.release(p.frame)
+		} else if p.frame.owner == as {
+			// The surviving mapper is some other address space; clear the
+			// now-stale reverse mapping so reclaim does not chase it. The
+			// survivor re-owns the frame at its next touch.
+			p.frame.owner = nil
 		}
+	} else if p.swapped {
+		as.phys.swapRemoved(p.swapData)
 	}
 	*p = pte{}
 }
@@ -537,13 +631,16 @@ func (as *AddressSpace) fault(a Addr, forWrite bool) (*Frame, error) {
 	return as.faultPTE(a, v.pteAt(a), forWrite)
 }
 
-// faultPTE runs the fault path on an already-located PTE.
+// faultPTE runs the fault path on an already-located PTE. Allocation goes
+// through allocFrame, so hitting physical capacity triggers a direct
+// reclaim stall instead of failing outright.
 func (as *AddressSpace) faultPTE(a Addr, p *pte, forWrite bool) (*Frame, error) {
 	if p.swapped {
-		f, err := as.phys.alloc()
+		f, err := as.allocFrame()
 		if err != nil {
 			return nil, err
 		}
+		as.phys.swapRemoved(p.swapData)
 		if p.swapData != nil {
 			f.data = p.swapData
 			f.shared = p.swapShared
@@ -553,13 +650,18 @@ func (as *AddressSpace) faultPTE(a Addr, p *pte, forWrite bool) (*Frame, error) 
 		p.swapped = false
 		p.frame = f
 		p.present = true
-		p.writable = true
+		// Restore the pre-swap writability: a page that was COW-shared
+		// (or mprotect'ed read-only) must not regain write permission by
+		// taking a swap round trip — the write below still breaks COW.
+		p.writable = p.swapWritable
+		p.swapWritable = false
 		f.mapRefs++
+		as.installFrame(f, a)
 		as.swapIns++
 		as.faults++
 	}
 	if !p.present {
-		f, err := as.phys.alloc()
+		f, err := as.allocFrame()
 		if err != nil {
 			return nil, err
 		}
@@ -567,12 +669,16 @@ func (as *AddressSpace) faultPTE(a Addr, p *pte, forWrite bool) (*Frame, error) 
 		p.present = true
 		p.writable = true
 		f.mapRefs++
+		as.installFrame(f, a)
 		as.faults++
 	}
 	if forWrite && !p.writable {
 		if err := as.breakCOW(a, p); err != nil {
 			return nil, err
 		}
+	}
+	if as.phys.lruTracked() {
+		as.touchFrame(p.frame, a)
 	}
 	return p.frame, nil
 }
@@ -583,7 +689,12 @@ func (as *AddressSpace) faultPTE(a Addr, p *pte, forWrite bool) (*Frame, error) 
 func (as *AddressSpace) breakCOW(a Addr, p *pte) error {
 	as.notify(a, a+PageSize, InvalidateCOW)
 	old := p.frame
-	f, err := as.phys.alloc()
+	// Transient kernel reference (get_page-style): the allocation below
+	// may enter direct reclaim, which must not steal the very page being
+	// duplicated out from under us.
+	old.kernRefs++
+	f, err := as.allocFrame()
+	old.kernRefs--
 	if err != nil {
 		return err
 	}
@@ -600,6 +711,7 @@ func (as *AddressSpace) breakCOW(a Addr, p *pte) error {
 	p.frame = f
 	p.writable = true
 	f.mapRefs++
+	as.installFrame(f, a)
 	as.cowBreaks++
 	return nil
 }
@@ -834,17 +946,31 @@ func (as *AddressSpace) Migrate(addr Addr, length int) (int, error) {
 			as.notify(lo, hi, InvalidateMigrate)
 			for j := runStart; j < i; j++ {
 				p := &v.ptes[j]
+				if !p.present {
+					continue // direct reclaim swapped it out mid-run
+				}
 				old := p.frame
-				f, err := as.phys.alloc()
+				// Transient reference so direct reclaim inside the
+				// allocation cannot steal the page being migrated.
+				old.kernRefs++
+				f, err := as.allocFrame()
+				old.kernRefs--
 				if err != nil {
 					walkErr = err
 					return
 				}
 				if old.data != nil {
-					f.data = old.data
-					f.shared = old.shared
-					old.data = nil
-					old.shared = false
+					if old.mapRefs > 1 {
+						// Still mapped elsewhere (COW share): the moved
+						// copy references the data, the old frame keeps it.
+						f.data = old.refData()
+						f.shared = true
+					} else {
+						f.data = old.data
+						f.shared = old.shared
+						old.data = nil
+						old.shared = false
+					}
 				}
 				old.mapRefs--
 				if old.mapRefs == 0 && old.pinRefs == 0 {
@@ -852,6 +978,7 @@ func (as *AddressSpace) Migrate(addr Addr, length int) (int, error) {
 				}
 				p.frame = f
 				f.mapRefs++
+				as.installFrame(f, v.start+Addr(j)<<PageShift)
 				moved++
 			}
 		}
@@ -890,22 +1017,38 @@ func (as *AddressSpace) SwapOut(addr Addr, length int) (int, error) {
 			hi := v.start + Addr(i)<<PageShift
 			as.notify(lo, hi, InvalidateSwap)
 			for j := runStart; j < i; j++ {
-				p := &v.ptes[j]
-				old := p.frame
-				p.swapData = old.data
-				p.swapShared = old.shared
-				old.data = nil
-				old.shared = false
-				old.mapRefs--
-				if old.mapRefs == 0 && old.pinRefs == 0 {
-					as.phys.release(old)
-				}
-				p.frame = nil
-				p.present = false
-				p.swapped = true
+				as.swapOutPTE(&v.ptes[j])
 				swapped++
 			}
 		}
 	})
 	return swapped, nil
+}
+
+// swapOutPTE moves one present, unpinned PTE's contents to swap. The
+// caller has already fired the InvalidateSwap notifier. Writability is
+// preserved for the swap-in path, and a frame still mapped elsewhere
+// (COW share) keeps its data: the swap slot takes a copy-on-reference
+// snapshot instead of stealing the live buffer.
+func (as *AddressSpace) swapOutPTE(p *pte) {
+	old := p.frame
+	p.swapWritable = p.writable
+	if old.mapRefs > 1 {
+		p.swapData = old.refData()
+		p.swapShared = p.swapData != nil
+	} else {
+		p.swapData = old.data
+		p.swapShared = old.shared
+		old.data = nil
+		old.shared = false
+	}
+	old.mapRefs--
+	if old.mapRefs == 0 && old.pinRefs == 0 {
+		as.phys.release(old)
+	}
+	p.frame = nil
+	p.present = false
+	p.writable = false
+	p.swapped = true
+	as.phys.swapAdded(p.swapData)
 }

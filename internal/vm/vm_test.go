@@ -450,16 +450,63 @@ func TestPinPagesIncremental(t *testing.T) {
 }
 
 func TestFrameLimitEnforced(t *testing.T) {
+	// Overcommitting a bounded PhysMem no longer fails outright: the
+	// allocation path enters direct reclaim and swaps the coldest pages
+	// out, so the write succeeds while FramesInUse never exceeds the
+	// capacity and the displaced pages show up in the swap accounting.
 	phys := NewPhysMem(4)
 	as := NewAddressSpace(1, phys)
 	addr, _ := as.Mmap(8 * PageSize)
-	err := as.Write(addr, make([]byte, 8*PageSize))
-	if err == nil {
-		t.Fatal("allocation beyond capacity succeeded")
+	payload := make([]byte, 8*PageSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if err := as.Write(addr, payload); err != nil {
+		t.Fatalf("overcommitted write did not reclaim: %v", err)
+	}
+	if phys.FramesInUse() > 4 {
+		t.Fatalf("FramesInUse = %d exceeds capacity 4", phys.FramesInUse())
+	}
+	if phys.OccupiedPages() != 8 {
+		t.Fatalf("OccupiedPages = %d, want 8", phys.OccupiedPages())
+	}
+	rs := phys.ReclaimStats()
+	if rs.DirectStalls == 0 || rs.PgSteal == 0 {
+		t.Fatalf("expected direct-reclaim activity, got %+v", rs)
+	}
+	// Data survives the swap round trips.
+	got := make([]byte, len(payload))
+	if err := as.Read(addr, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != payload[i] {
+			t.Fatalf("byte %d = %d, want %d after reclaim round trip", i, got[i], payload[i])
+		}
+	}
+}
+
+func TestFrameLimitPinnedPagesCannotBeReclaimed(t *testing.T) {
+	// When every frame is pinned, reclaim has nothing to steal and the
+	// allocation fails with ErrNoMemory — pinned pages are unreclaimable,
+	// the paper's core claim.
+	phys := NewPhysMem(4)
+	as := NewAddressSpace(1, phys)
+	addr, _ := as.Mmap(8 * PageSize)
+	h, err := as.PinPages(addr, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Write(addr+4*PageSize, []byte{1}); err == nil {
+		t.Fatal("allocation succeeded with every frame pinned")
+	}
+	if rs := phys.ReclaimStats(); rs.Failures == 0 || rs.PgSteal != 0 {
+		t.Fatalf("expected failed reclaim with no steals, got %+v", rs)
 	}
 	if phys.FramesInUse() != 4 {
 		t.Fatalf("FramesInUse = %d, want 4", phys.FramesInUse())
 	}
+	h.Unpin()
 }
 
 func TestPageHelpers(t *testing.T) {
