@@ -351,6 +351,40 @@ func BenchmarkSimWallClock(b *testing.B) {
 	b.ReportMetric(eventsPerSec, "events/sec")
 }
 
+// BenchmarkSimWallClockParallel drives the 8-node fleet cell on
+// GOMAXPROCS engine shards (body shared with `omxsim bench`, which also
+// measures the 1-shard reference and reports parallel_speedup). Compare
+// against BenchmarkSimWallClockParallelSerial for the parallel engine's
+// wall-clock win on this machine.
+func BenchmarkSimWallClockParallel(b *testing.B) {
+	benchSimWallClockParallel(b, bench.ParallelShards())
+}
+
+// BenchmarkSimWallClockParallelSerial is the same cell on one shard —
+// the windowed coordinator without concurrency, the speedup denominator.
+func BenchmarkSimWallClockParallelSerial(b *testing.B) {
+	benchSimWallClockParallel(b, 1)
+}
+
+func benchSimWallClockParallel(b *testing.B, shards int) {
+	b.ReportAllocs()
+	var mbps, nsPerSimUs, eventsPerSec float64
+	for i := 0; i < b.N; i++ {
+		m, simUs, events := bench.SimWallClockParallelCell(shards)
+		mbps = m
+		if simUs > 0 {
+			nsPerSimUs = b.Elapsed().Seconds() * 1e9 / float64(b.N) / simUs
+		}
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			eventsPerSec = float64(events) * float64(b.N) / secs
+		}
+	}
+	b.ReportMetric(float64(shards), "shards")
+	b.ReportMetric(mbps, "MiB/s")
+	b.ReportMetric(nsPerSimUs, "ns/sim-us")
+	b.ReportMetric(eventsPerSec, "events/sec")
+}
+
 func sizeName(s int) string {
 	if s >= 1<<20 {
 		return fmt.Sprintf("%dMB", s>>20)

@@ -6,8 +6,8 @@
 //
 //	omxsim list [-markdown]         # registered scenarios (+ policy labels)
 //	omxsim policies                 # registered pinning-policy backends
-//	omxsim run <scenario>... [-policy lbl] [-seed N] [-quick] [-json]
-//	omxsim sweep [-quick] [-json]   # run every registered scenario
+//	omxsim run <scenario>... [-policy lbl] [-seed N] [-quick] [-shards N] [-json]
+//	omxsim sweep [-quick] [-shards N] [-json]  # run every registered scenario
 //	omxsim bench [-quick] [-pr N] [-out FILE]  # simulator meta-benchmarks
 //
 // Exit status is non-zero when any scenario assertion fails, so CI can
@@ -46,6 +46,8 @@ Flags for run/sweep:
   -policy string   restrict the case matrix to one label or backend name
   -seed int        simulation seed (default 1)
   -quick           reduced size schedules
+  -shards int      run each cluster on N parallel engine shards (clamped to
+                   its node count; results are shard-count invariant)
   -json            emit machine-readable JSON instead of tables
 
 Flags for bench:
@@ -137,6 +139,7 @@ func runFlags(name string, args []string) (scenario.Options, bool, []string) {
 		fs.StringVar(&opts.Policy, "policy", opts.Policy, "restrict the case matrix to one label or pin-policy name")
 		fs.Int64Var(&opts.Seed, "seed", opts.Seed, "simulation seed")
 		fs.BoolVar(&opts.Quick, "quick", opts.Quick, "reduced size schedules")
+		fs.IntVar(&opts.Shards, "shards", opts.Shards, "parallel engine shards per cluster (0 = legacy single engine)")
 		fs.BoolVar(&jsonOut, "json", jsonOut, "emit JSON instead of tables")
 		fs.Parse(args)
 		rest := fs.Args()
@@ -198,6 +201,19 @@ func benchCmd(args []string) {
 		*pr = inferPRNumber()
 	}
 
+	// Load the guard artifact before measuring: the output path may be the
+	// same file (guarding the checked-in BENCH_PR<N>.json of the current
+	// PR), and the comparison must see the committed numbers, not ours.
+	var prior bench.Report
+	if *guard != "" {
+		p, err := bench.LoadReport(*guard)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "omxsim bench: %v\n", err)
+			os.Exit(1)
+		}
+		prior = p
+	}
+
 	rep := bench.Run(*pr, *quick)
 
 	path := *out
@@ -235,16 +251,11 @@ func benchCmd(args []string) {
 			rep.Baseline.Commit, rep.Baseline.Name, rep.SpeedupVsBaseline)
 	}
 	if *guard != "" {
-		prior, err := bench.LoadReport(*guard)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "omxsim bench: %v\n", err)
-			os.Exit(1)
-		}
 		if err := bench.Guard(rep, prior, *guardSlack); err != nil {
 			fmt.Fprintf(os.Stderr, "omxsim bench: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "bench guard: SimWallClock within %.2fx of %s\n", *guardSlack, *guard)
+		fmt.Fprintf(os.Stderr, "bench guard: gated benchmarks within %.2fx of %s\n", *guardSlack, *guard)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 
 	"omxsim/internal/cluster"
 	"omxsim/internal/core"
+	"omxsim/internal/ethernet"
 	"omxsim/internal/imb"
 	"omxsim/internal/mpi"
 	"omxsim/internal/omx"
@@ -105,6 +106,68 @@ func SimWallClockCell() (mbps, simMicros float64, events uint64) {
 	return mbps, cl.Eng.Now().Micros(), cl.Eng.EventsFired()
 }
 
+// ParallelShards picks the shard count the parallel cell measures:
+// GOMAXPROCS, clamped to the cell's 8 nodes (1 shard on a 1-core host —
+// the parallel engine cannot beat serial without real cores).
+func ParallelShards() int {
+	s := runtime.GOMAXPROCS(0)
+	if s > 8 {
+		s = 8
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// SimWallClockParallelCell runs the parallel-engine cell once — an 8-node
+// 16-rank pairwise streaming fleet (the fleet-stream scenario's shape) on
+// the given shard count — and returns the model throughput, simulated
+// time covered, and events dispatched. shards=1 is the serial reference
+// the parallel_speedup metric divides by; the statistics are identical at
+// every shard count (the determinism tests enforce it), so the two runs
+// measure the same work.
+func SimWallClockParallelCell(shards int) (mbps, simMicros float64, events uint64) {
+	link := ethernet.DefaultLinkConfig()
+	link.PropDelay = 2 * sim.Microsecond // switch-hop latency = lookahead window
+	cl, err := cluster.New(cluster.Config{
+		Nodes:        8,
+		RanksPerNode: 2,
+		Shards:       shards,
+		Link:         &link,
+		OMX:          omx.DefaultConfig(core.Overlapped, true),
+	})
+	if err != nil {
+		panic(err)
+	}
+	const bytes = 1 << 20
+	const rounds = 8
+	cl.Run(func(c *mpi.Comm) {
+		half := c.Size() / 2
+		peer := (c.Rank() + half) % c.Size()
+		tx := c.Malloc(bytes)
+		rx := c.Malloc(bytes)
+		c.Barrier()
+		start := c.Now()
+		for r := 0; r < rounds; r++ {
+			if c.Rank() < half {
+				c.Send(tx, bytes, peer, 7)
+				c.Recv(rx, bytes, peer, 7)
+			} else {
+				c.Recv(rx, bytes, peer, 7)
+				c.Send(tx, bytes, peer, 7)
+			}
+		}
+		c.Barrier()
+		if c.Rank() == 0 {
+			elapsed := c.Now() - start
+			total := float64(rounds) * float64(bytes) * float64(c.Size())
+			mbps = total / elapsed.Seconds() / (1 << 20)
+		}
+	})
+	return mbps, cl.Now().Micros(), cl.EventsFired()
+}
+
 // EngineAfter0Cell performs n zero-delay schedule+fire round trips on a
 // fresh engine (the fast-path microbenchmark body).
 func EngineAfter0Cell(n int) {
@@ -136,6 +199,21 @@ func EngineTimerWheelCell(n int) {
 func simWallClock(metrics map[string]float64) {
 	start := time.Now()
 	mbps, simMicros, events := SimWallClockCell()
+	wall := time.Since(start)
+	metrics["MiB/s"] = mbps
+	if simMicros > 0 {
+		metrics["ns/sim-us"] = float64(wall.Nanoseconds()) / simMicros
+	}
+	if s := wall.Seconds(); s > 0 {
+		metrics["events/sec"] = float64(events) / s
+	}
+}
+
+// simWallClockParallel adapts SimWallClockParallelCell to the suite's
+// metric map.
+func simWallClockParallel(shards int, metrics map[string]float64) {
+	start := time.Now()
+	mbps, simMicros, events := SimWallClockParallelCell(shards)
 	wall := time.Since(start)
 	metrics["MiB/s"] = mbps
 	if simMicros > 0 {
@@ -188,8 +266,25 @@ func Run(pr int, quick bool) Report {
 		minWall = 500 * time.Millisecond
 		minIters = 3
 	}
+	// The parallel cell is measured twice — once on one shard (the serial
+	// reference) and once on GOMAXPROCS shards — so the artifact carries
+	// parallel_speedup as data wherever it ran (≈1.0 on a single-core
+	// host, the real multiplier on multi-core CI).
+	shards := ParallelShards()
+	serial := measure("SimWallClockParallelSerial", minIters, minWall/2, func(m map[string]float64) {
+		simWallClockParallel(1, m)
+	})
+	par := measure("SimWallClockParallel", minIters, minWall/2, func(m map[string]float64) {
+		simWallClockParallel(shards, m)
+	})
+	par.Metrics["shards"] = float64(shards)
+	if par.NsPerOp > 0 {
+		par.Metrics["parallel_speedup"] = serial.NsPerOp / par.NsPerOp
+	}
 	results := []Result{
 		measure("SimWallClock", minIters, minWall, simWallClock),
+		serial,
+		par,
 		measure("EngineAfter0", 1, minWall/4, engineAfter0),
 		measure("EngineTimerWheel", 1, minWall/4, engineTimerWheel),
 		measure("Figure7Regular1MB", minIters, minWall/2, figure7Regular),
@@ -229,35 +324,49 @@ func LoadReport(path string) (Report, error) {
 	return r, nil
 }
 
-// Guard compares the current SimWallClock measurement against the one in
-// a prior artifact and errors when the current run is more than slack
-// times slower — the perf-acceptance gate that keeps changes on the
-// fault/pin hot path (like the reclaim hooks) from silently eroding the
-// engine-overhaul win. Slack absorbs CI machine-class variance; 1.75 is
-// generous enough that only a genuine regression (not noise) trips it.
+// Guard compares the current measurements against a prior artifact and
+// errors when a gated benchmark is more than slack times slower — the
+// perf-acceptance gate that keeps changes on the fault/pin hot path (like
+// the reclaim hooks) from silently eroding the engine-overhaul win.
+// SimWallClock is mandatory in both reports; SimWallClockParallel is
+// gated only when the baseline artifact carries it (pre-parallel-engine
+// artifacts like BENCH_PR2.json do not). Slack absorbs CI machine-class
+// variance; 1.75 is generous enough that only a genuine regression (not
+// noise) trips it.
 func Guard(cur, prior Report, slack float64) error {
 	if slack <= 0 {
 		slack = 1.75
 	}
-	find := func(r Report) (Result, bool) {
+	find := func(r Report, name string) (Result, bool) {
 		for _, b := range r.Benchmarks {
-			if b.Name == "SimWallClock" {
+			if b.Name == name {
 				return b, true
 			}
 		}
 		return Result{}, false
 	}
-	c, ok := find(cur)
-	if !ok {
-		return fmt.Errorf("bench guard: current run has no SimWallClock measurement")
+	gate := func(name string) error {
+		p, ok := find(prior, name)
+		if !ok || p.NsPerOp <= 0 {
+			return fmt.Errorf("bench guard: baseline artifact has no usable %s measurement", name)
+		}
+		c, ok := find(cur, name)
+		if !ok {
+			return fmt.Errorf("bench guard: current run has no %s measurement", name)
+		}
+		if c.NsPerOp > p.NsPerOp*slack {
+			return fmt.Errorf("bench guard: %s %.1f ms/op is %.2fx the %.1f ms/op baseline (allowed %.2fx)",
+				name, c.NsPerOp/1e6, c.NsPerOp/p.NsPerOp, p.NsPerOp/1e6, slack)
+		}
+		return nil
 	}
-	p, ok := find(prior)
-	if !ok || p.NsPerOp <= 0 {
-		return fmt.Errorf("bench guard: baseline artifact has no usable SimWallClock measurement")
+	if err := gate("SimWallClock"); err != nil {
+		return err
 	}
-	if c.NsPerOp > p.NsPerOp*slack {
-		return fmt.Errorf("bench guard: SimWallClock %.1f ms/op is %.2fx the %.1f ms/op baseline (allowed %.2fx)",
-			c.NsPerOp/1e6, c.NsPerOp/p.NsPerOp, p.NsPerOp/1e6, slack)
+	if _, ok := find(prior, "SimWallClockParallel"); ok {
+		if err := gate("SimWallClockParallel"); err != nil {
+			return err
+		}
 	}
 	return nil
 }

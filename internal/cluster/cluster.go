@@ -40,6 +40,14 @@ type Config struct {
 	// swap pressure emerges from the allocator (the pressure-* scenario
 	// family) instead of the fault injector.
 	Mem omx.MemConfig
+	// Shards splits the cluster across that many parallel engine shards
+	// (clamped to Nodes), with nodes block-distributed and the fabric's
+	// one-way link latency (PropDelay) as the conservative lookahead
+	// window. 0 (the default) keeps the legacy single-engine path with
+	// its exact historical event order; 1 runs the windowed coordinator
+	// on one shard — the serial reference the determinism tests compare
+	// higher shard counts against. Requires a positive PropDelay.
+	Shards int
 	// RxCoreIdx is the core servicing NIC interrupts on every node
 	// (default 0).
 	RxCoreIdx int
@@ -71,11 +79,22 @@ type Config struct {
 
 // Cluster is a fully wired simulation instance.
 type Cluster struct {
+	// Eng is the engine of shard 0 — the only engine in a legacy or
+	// single-shard build. Sharded code paths must address engines per
+	// node (Nodes[i].Eng); Eng remains for the single-engine experiments
+	// and as the coordinator-side default.
 	Eng       *sim.Engine
 	Fabric    *ethernet.Fabric
 	Nodes     []*omx.Node
 	Endpoints []*omx.Endpoint // indexed by rank, block-distributed
 	World     *mpi.World
+	// Set coordinates the engine shards (nil on the legacy path).
+	Set *sim.ShardSet
+
+	// bounded records that the last drive was budget-limited, so Now()
+	// reports the deadline the clocks were advanced to rather than the
+	// last foreground event.
+	bounded bool
 }
 
 // New builds a cluster.
@@ -105,13 +124,49 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Link != nil {
 		link = *cfg.Link
 	}
-	eng := sim.NewEngine(cfg.Seed)
-	fabric := ethernet.NewFabric(eng, link)
+	shards := cfg.Shards
+	if shards > cfg.Nodes {
+		shards = cfg.Nodes
+	}
+	if shards > 0 && link.PropDelay <= 0 {
+		return nil, fmt.Errorf("cluster: sharded mode needs a positive link PropDelay as lookahead (got %v)", link.PropDelay)
+	}
+	// One engine per shard; the legacy path (shards == 0) is a single
+	// engine with no coordinator. Nodes are block-distributed so ranks
+	// that talk to node-local peers stay on one shard.
+	engines := []*sim.Engine{sim.NewEngine(cfg.Seed)}
+	for i := 1; i < shards; i++ {
+		engines = append(engines, sim.NewEngine(cfg.Seed))
+	}
+	engineOf := func(node int) *sim.Engine {
+		if shards == 0 {
+			return engines[0]
+		}
+		return engines[node*shards/cfg.Nodes]
+	}
+	fabric := ethernet.NewFabric(engines[0], link)
+	fabric.Seed = cfg.Seed
 	fabric.LoopbackBytesPerSec = cfg.LoopbackBytesPerSec
 
-	cl := &Cluster{Eng: eng, Fabric: fabric}
+	cl := &Cluster{Eng: engines[0], Fabric: fabric}
+	if shards > 0 {
+		cl.Set = sim.NewShardSet(link.PropDelay, engines)
+		shardOf := func(node int) int { return node * shards / cfg.Nodes }
+		fabric.SetRouter(func(dst *ethernet.NIC, fr *ethernet.Frame, when, sendTime sim.Time, srcSeq uint64) {
+			cl.Set.Post(sim.CrossEvent{
+				When:     when,
+				SendTime: sendTime,
+				SrcShard: shardOf(fr.Src),
+				DstShard: shardOf(fr.Dst),
+				SrcNode:  fr.Src,
+				DstNode:  fr.Dst,
+				SrcSeq:   srcSeq,
+				Fn:       func() { dst.Deliver(fr) },
+			})
+		})
+	}
 	for n := 0; n < cfg.Nodes; n++ {
-		node := omx.NewNode(eng, fabric, cfg.Spec, n, cfg.RxCoreIdx)
+		node := omx.NewNode(engineOf(n), fabric, cfg.Spec, n, cfg.RxCoreIdx)
 		node.ConfigureMemory(cfg.Mem)
 		cl.Nodes = append(cl.Nodes, node)
 		var proc *omx.Process
@@ -138,7 +193,13 @@ func New(cfg Config) (*Cluster, error) {
 			cl.Endpoints = append(cl.Endpoints, ep)
 		}
 	}
-	cl.World = mpi.NewWorld(eng, cl.Endpoints)
+	cl.World = mpi.NewWorld(engines[0], cl.Endpoints)
+	if cl.Set != nil {
+		// Rank-completion flags are written by rank bodies on their own
+		// shards; AllDone readers inside the simulation get the
+		// barrier-published snapshot.
+		cl.Set.AddBarrierHook(cl.World.PublishDone)
+	}
 	for _, hook := range cfg.OnBuild {
 		hook(cl)
 	}
@@ -187,12 +248,16 @@ func (cl *Cluster) Close() int {
 	return leaked
 }
 
-// Run executes body on every rank and drives the engine until all ranks
-// finish; it panics if the simulation deadlocks (event queue drained with
-// ranks still running).
+// Run executes body on every rank and drives the engine (or the shard
+// set) until all ranks finish; it panics if the simulation deadlocks
+// (event queues drained with ranks still running).
 func (cl *Cluster) Run(body func(c *mpi.Comm)) {
 	cl.World.Run(body)
-	cl.Eng.Run()
+	if cl.Set != nil {
+		cl.Set.Run()
+	} else {
+		cl.Eng.Run()
+	}
 	if !cl.World.AllDone() {
 		panic("cluster: simulation deadlocked: event queue empty with ranks still blocked")
 	}
@@ -205,8 +270,33 @@ func (cl *Cluster) Run(body func(c *mpi.Comm)) {
 // use this from short-lived processes or tests.
 func (cl *Cluster) RunFor(budget sim.Duration, body func(c *mpi.Comm)) bool {
 	cl.World.Run(body)
-	cl.Eng.RunUntil(cl.Eng.Now() + budget)
+	cl.bounded = true
+	if cl.Set != nil {
+		cl.Set.RunUntil(cl.Eng.Now() + budget)
+	} else {
+		cl.Eng.RunUntil(cl.Eng.Now() + budget)
+	}
 	return cl.World.AllDone()
+}
+
+// Now reports the simulation end time the way a single engine would: the
+// deadline for budget-bounded runs, otherwise the time of the last
+// foreground event. In sharded runs the engine clocks sit at the final
+// synchronization window's boundary, so the shard set's last-foreground
+// time is the comparable quantity.
+func (cl *Cluster) Now() sim.Time {
+	if cl.Set == nil || cl.bounded {
+		return cl.Eng.Now()
+	}
+	return cl.Set.LastForegroundTime()
+}
+
+// EventsFired sums dispatched events across all shards.
+func (cl *Cluster) EventsFired() uint64 {
+	if cl.Set != nil {
+		return cl.Set.EventsFired()
+	}
+	return cl.Eng.EventsFired()
 }
 
 // Stats aggregates node driver stats across the cluster.

@@ -11,6 +11,7 @@ package ethernet
 
 import (
 	"fmt"
+	"math/rand"
 
 	"omxsim/internal/sim"
 )
@@ -67,9 +68,21 @@ type NIC struct {
 	fabric  *Fabric
 	handler func(*Frame)
 
-	txBusyUntil sim.Time
+	// txBusy tracks when each outgoing (this NIC, dst) direction frees
+	// up. Link serialization state is per source NIC — not fabric-global —
+	// so NICs on different engine shards never share mutable state.
+	txBusy map[int]sim.Time
 
-	// Statistics.
+	// rng drives this NIC's loss decisions. Giving every NIC its own
+	// deterministic stream (seeded from the fabric seed and the node ID)
+	// keeps drop sequences independent of how sends from different nodes
+	// interleave — a requirement for shard-count-invariant traces, and
+	// the right model anyway (one node's traffic should not perturb
+	// another's loss pattern).
+	rng *rand.Rand
+
+	// Statistics. txFrames doubles as the per-source sequence number the
+	// shard router uses to tie-break simultaneous cross-shard arrivals.
 	txFrames, rxFrames uint64
 	txBytes, rxBytes   uint64
 	dropped            uint64
@@ -113,8 +126,14 @@ type Fabric struct {
 	eng  *sim.Engine
 	cfg  LinkConfig
 	nics map[int]*NIC
-	// links serialize per (src,dst) direction: busy-until times.
-	linkBusy map[[2]int]sim.Time
+	// Seed derives each NIC's private loss RNG; set it before adding NICs
+	// (the cluster builder passes its simulation seed through).
+	Seed int64
+	// route, when non-nil, replaces direct delivery scheduling: every
+	// frame is handed to the shard router, which schedules Deliver on the
+	// destination NIC's engine at the given arrival time. Set by cluster
+	// glue in sharded runs; nil keeps the legacy single-engine path.
+	route RouteFunc
 	// DropFilter, when non-nil, is consulted per frame; returning true
 	// drops it. Used for deterministic loss injection in tests.
 	DropFilter func(*Frame) bool
@@ -123,22 +142,38 @@ type Fabric struct {
 	LoopbackBytesPerSec float64
 }
 
+// RouteFunc carries one frame across a shard boundary: schedule
+// dst.Deliver(fr) on dst's engine at arrival time when. sendTime and
+// srcSeq (the sending NIC's frame counter) are the canonical tie-break
+// key for arrivals sharing an instant.
+type RouteFunc func(dst *NIC, fr *Frame, when, sendTime sim.Time, srcSeq uint64)
+
 // NewFabric creates an empty fabric with the given link parameters.
 func NewFabric(eng *sim.Engine, cfg LinkConfig) *Fabric {
 	if cfg.BytesPerSec <= 0 {
 		panic("ethernet: non-positive link bandwidth")
 	}
 	return &Fabric{
-		eng:      eng,
-		cfg:      cfg,
-		nics:     make(map[int]*NIC),
-		linkBusy: make(map[[2]int]sim.Time),
+		eng:  eng,
+		cfg:  cfg,
+		nics: make(map[int]*NIC),
 	}
 }
 
+// SetRouter installs the cross-shard delivery path. Must be called
+// before any traffic flows.
+func (f *Fabric) SetRouter(r RouteFunc) { f.route = r }
+
 // AddNIC registers a NIC for nodeID with the given MTU (0 selects
-// DefaultMTU) and returns it.
+// DefaultMTU) and returns it. The NIC schedules on the fabric's engine.
 func (f *Fabric) AddNIC(nodeID, mtu int) *NIC {
+	return f.AddNICOn(f.eng, nodeID, mtu)
+}
+
+// AddNICOn registers a NIC whose events run on the given engine — the
+// shard that owns nodeID in a sharded cluster. With every node on one
+// engine it is identical to AddNIC.
+func (f *Fabric) AddNICOn(eng *sim.Engine, nodeID, mtu int) *NIC {
 	if _, dup := f.nics[nodeID]; dup {
 		panic(fmt.Sprintf("ethernet: duplicate NIC for node %d", nodeID))
 	}
@@ -146,11 +181,13 @@ func (f *Fabric) AddNIC(nodeID, mtu int) *NIC {
 		mtu = DefaultMTU
 	}
 	n := &NIC{
-		eng:        f.eng,
+		eng:        eng,
 		nodeID:     nodeID,
 		mtu:        mtu,
 		txOverhead: 200 * sim.Nanosecond,
 		fabric:     f,
+		txBusy:     make(map[int]sim.Time),
+		rng:        rand.New(rand.NewSource(f.Seed ^ int64(uint64(nodeID)*0x9e3779b97f4a7c15))),
 	}
 	f.nics[nodeID] = n
 	return n
@@ -185,30 +222,40 @@ func (n *NIC) Send(fr *Frame) {
 	}
 	wireTime := sim.Duration(float64(fr.Size+WireOverhead) / bw * 1e9)
 
-	key := [2]int{n.nodeID, fr.Dst}
-	start := n.fabric.linkBusy[key]
-	if now := n.eng.Now(); start < now {
-		start = now
+	sendTime := n.eng.Now()
+	start := n.txBusy[fr.Dst]
+	if start < sendTime {
+		start = sendTime
 	}
 	start += n.txOverhead
 	end := start + wireTime
-	n.fabric.linkBusy[key] = end
+	n.txBusy[fr.Dst] = end
 
 	if n.fabric.DropFilter != nil && n.fabric.DropFilter(fr) {
 		n.dropped++
 		return
 	}
-	if p := n.fabric.cfg.DropProb; p > 0 && n.eng.Rand().Float64() < p {
+	if p := n.fabric.cfg.DropProb; p > 0 && n.rng.Float64() < p {
 		n.dropped++
 		return
 	}
-	n.eng.At(end+n.fabric.cfg.PropDelay+dst.rxDelay, func() {
-		dst.rxFrames++
-		dst.rxBytes += uint64(fr.Size)
-		if dst.handler != nil {
-			dst.handler(fr)
-		}
-	})
+	when := end + n.fabric.cfg.PropDelay + dst.rxDelay
+	if n.fabric.route != nil {
+		n.fabric.route(dst, fr, when, sendTime, n.txFrames)
+		return
+	}
+	n.eng.At(when, func() { dst.Deliver(fr) })
+}
+
+// Deliver hands an arrived frame to the NIC's handler, in interrupt
+// context at the current simulated time. The shard router calls it on
+// the destination engine; the legacy path schedules it directly.
+func (n *NIC) Deliver(fr *Frame) {
+	n.rxFrames++
+	n.rxBytes += uint64(fr.Size)
+	if n.handler != nil {
+		n.handler(fr)
+	}
 }
 
 // SerializationTime reports how long a payload of size bytes occupies the

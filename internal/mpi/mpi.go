@@ -48,6 +48,13 @@ type World struct {
 	eng  *sim.Engine
 	eps  []*omx.Endpoint
 	done []bool
+	// snapshot, when non-nil, is a barrier-published copy of done that
+	// AllDone reads instead of the live flags. In a sharded run rank
+	// bodies set done concurrently on different shards; readers inside
+	// the simulation (fault-injector polls) must see a consistent,
+	// shard-count-invariant view, so the coordinator publishes one at
+	// every synchronization barrier via PublishDone.
+	snapshot []bool
 }
 
 // NewWorld wraps endpoints as ranks 0..len-1.
@@ -61,9 +68,14 @@ func (w *World) Size() int { return len(w.eps) }
 // Endpoint returns rank r's endpoint.
 func (w *World) Endpoint(r int) *omx.Endpoint { return w.eps[r] }
 
-// AllDone reports whether every rank's body returned.
+// AllDone reports whether every rank's body returned (as of the last
+// barrier, in sharded runs).
 func (w *World) AllDone() bool {
-	for _, d := range w.done {
+	flags := w.done
+	if w.snapshot != nil {
+		flags = w.snapshot
+	}
+	for _, d := range flags {
 		if !d {
 			return false
 		}
@@ -71,12 +83,26 @@ func (w *World) AllDone() bool {
 	return true
 }
 
-// Run spawns one simulated process per rank executing body. The caller
-// drives the engine (typically eng.Run()) and can check AllDone.
+// PublishDone snapshots the rank-completion flags for AllDone readers.
+// The shard coordinator calls it at every window barrier (all shards
+// parked, so the live flags are stable); the first call switches AllDone
+// to snapshot reads.
+func (w *World) PublishDone() {
+	if w.snapshot == nil {
+		w.snapshot = make([]bool, len(w.done))
+	}
+	copy(w.snapshot, w.done)
+}
+
+// Run spawns one simulated process per rank executing body, each on the
+// engine that owns its endpoint's node (all the same engine in a
+// single-shard run). The caller drives the engine(s) and can check
+// AllDone.
 func (w *World) Run(body func(c *Comm)) {
 	for r := range w.eps {
 		r := r
-		w.eng.Go(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
+		eng := w.eps[r].Node().Eng
+		eng.Go(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
 			c := &Comm{world: w, p: p, ep: w.eps[r], rank: r, size: len(w.eps)}
 			body(c)
 			w.done[r] = true

@@ -76,7 +76,7 @@ func NewNode(eng *sim.Engine, fabric *ethernet.Fabric, spec cpu.Spec, id, rxCore
 		Eng:       eng,
 		Machine:   cpu.NewMachine(eng, spec),
 		Phys:      vm.NewPhysMem(0),
-		NIC:       fabric.AddNIC(id, 0),
+		NIC:       fabric.AddNICOn(eng, id, 0),
 		IOAT:      ioat.New(eng, 0),
 		endpoints: make(map[int]*Endpoint),
 	}

@@ -153,6 +153,9 @@ func (s *Scenario) runCell(run *Run, c Case, size int) (*CaseRun, error) {
 	cfg := s.Cluster
 	cfg.OMX = c.OMX
 	cfg.Seed = run.Opts.Seed
+	if run.Opts.Shards != 0 {
+		cfg.Shards = run.Opts.Shards
+	}
 	if c.Tweak != nil {
 		c.Tweak(&cfg)
 	}
@@ -199,46 +202,51 @@ func noTeardownLeak() Assertion {
 	})
 }
 
-// scheduleFault arms one fault event on the cluster's engine.
+// scheduleFault arms one fault event. Every injector runs on the engine
+// that owns its target node, so fault work stays shard-local in sharded
+// runs: the flood arms per-node bottom-half generators on each node's own
+// engine, and rank-targeted faults fire where the rank's address space
+// lives.
 func scheduleFault(cl *cluster.Cluster, cr *CaseRun, f Fault, budget sim.Duration) {
-	eng := cl.Eng
+	if f.Kind == FaultFlood {
+		window := f.For
+		if window == 0 && budget == 0 {
+			window = floodCap
+		}
+		// Node 0's injector writes the note on behalf of all of them.
+		for _, n := range cl.Nodes {
+			n := n
+			eng := n.Eng
+			eng.After(f.At, func() {
+				stop := experiments.StartFlood(eng, n.RxCore(), f.Util)
+				if window > 0 {
+					eng.After(window, stop)
+				}
+				if n.ID == 0 {
+					cr.Note("t=%v: flood util=%.2f window=%v", eng.Now(), f.Util, window)
+				}
+			})
+		}
+		return
+	}
+	if f.Rank < 0 || f.Rank >= len(cl.Endpoints) {
+		cl.Eng.After(f.At, func() {
+			cr.Note("t=%v: %v fault: no rank %d", cl.Eng.Now(), f.Kind, f.Rank)
+		})
+		return
+	}
+	ep := cl.Endpoints[f.Rank]
+	eng := ep.Node().Eng
 	var fire func()
 	fire = func() {
 		switch f.Kind {
-		case FaultFlood:
-			stops := make([]func(), 0, len(cl.Nodes))
-			for _, n := range cl.Nodes {
-				stops = append(stops, experiments.StartFlood(eng, n.RxCore(), f.Util))
-			}
-			window := f.For
-			if window == 0 && budget == 0 {
-				window = floodCap
-			}
-			stopAll := func() {
-				for _, stop := range stops {
-					stop()
-				}
-			}
-			if window > 0 {
-				eng.After(window, stopAll)
-			}
-			cr.Note("t=%v: flood util=%.2f window=%v", eng.Now(), f.Util, window)
 		case FaultFork:
-			if f.Rank >= len(cl.Endpoints) {
-				cr.Note("t=%v: fork fault: no rank %d", eng.Now(), f.Rank)
-				return
-			}
-			as := cl.Endpoints[f.Rank].AS
-			if _, err := as.Fork(9000 + f.Rank); err != nil {
+			if _, err := ep.AS.Fork(9000 + f.Rank); err != nil {
 				cr.Note("t=%v: fork fault on rank %d failed: %v", eng.Now(), f.Rank, err)
 				return
 			}
 			cr.Note("t=%v: forked rank %d address space (COW)", eng.Now(), f.Rank)
 		case FaultFree, FaultSwapOut, FaultMProtect:
-			if f.Rank >= len(cl.Endpoints) {
-				cr.Note("t=%v: %v fault: no rank %d", eng.Now(), f.Kind, f.Rank)
-				return
-			}
 			addr, size, ok := cr.Buffer(f.Rank, f.Buffer)
 			if !ok {
 				// The workload has not registered the target yet; poll
@@ -251,7 +259,6 @@ func scheduleFault(cl *cluster.Cluster, cr *CaseRun, f Fault, budget sim.Duratio
 				}
 				return
 			}
-			ep := cl.Endpoints[f.Rank]
 			if f.Kind == FaultFree {
 				if err := ep.Free(addr); err != nil {
 					cr.Note("t=%v: free fault on %d/%s failed: %v", eng.Now(), f.Rank, f.Buffer, err)
@@ -283,10 +290,10 @@ func collectStats(cr *CaseRun) {
 	cl := cr.Cluster
 	st := cl.Stats()
 	set := cr.Metric
-	set("stats.elapsed_us", cl.Eng.Now().Micros())
+	set("stats.elapsed_us", cl.Now().Micros())
 	// Simulator-speed trajectory: events dispatched for this cell (divide by
 	// host wall clock to get events/sec; see PERFORMANCE.md).
-	set("stats.events_fired", float64(cl.Eng.EventsFired()))
+	set("stats.events_fired", float64(cl.EventsFired()))
 	set("stats.frames_rx", float64(st.FramesRx))
 	set("stats.pull_replies", float64(st.PullRepliesRx))
 	set("stats.overlap_misses", float64(st.OverlapMissSender+st.OverlapMissReceiver))

@@ -10,6 +10,7 @@ package scenario
 
 import (
 	"fmt"
+	"sync"
 
 	"omxsim/internal/cluster"
 	"omxsim/internal/mpi"
@@ -29,6 +30,11 @@ type Options struct {
 	// Quick selects the reduced size schedule (QuickSizes) and tells
 	// Custom scenarios to shrink their sweeps.
 	Quick bool
+	// Shards runs every cell's cluster on that many parallel engine
+	// shards (0 keeps the scenario's own setting, normally the legacy
+	// single-engine path). Custom scenarios build their own clusters and
+	// ignore it.
+	Shards int
 }
 
 // Case is one cell of a scenario's pin-policy matrix.
@@ -190,6 +196,12 @@ type CaseRun struct {
 	// Notes records fault outcomes and anomalies.
 	Notes []string
 
+	// mu guards Metrics, Notes, and buffers: in a sharded run, rank
+	// bodies and fault injectors touch the case record from different
+	// shard goroutines. (The values written are still deterministic —
+	// the lock only makes the map accesses safe, it is not ordering
+	// anything.)
+	mu      sync.Mutex
 	buffers map[string]bufRef
 }
 
@@ -198,26 +210,36 @@ type bufRef struct {
 	size int
 }
 
-// Metric records a measurement (rank 0 usually writes these; the engine is
-// single-threaded so no locking is needed).
-func (cr *CaseRun) Metric(name string, v float64) { cr.Metrics[name] = v }
+// Metric records a measurement (rank 0 usually writes these).
+func (cr *CaseRun) Metric(name string, v float64) {
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	cr.Metrics[name] = v
+}
 
 // Param reads a case parameter ("" when absent).
 func (cr *CaseRun) Param(key string) string { return cr.Case.Params[key] }
 
 // Note appends a free-form remark to the case record.
 func (cr *CaseRun) Note(format string, args ...any) {
-	cr.Notes = append(cr.Notes, fmt.Sprintf(format, args...))
+	msg := fmt.Sprintf(format, args...)
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	cr.Notes = append(cr.Notes, msg)
 }
 
 // RegisterBuffer publishes a rank's buffer under a name so fault events can
 // target it.
 func (cr *CaseRun) RegisterBuffer(rank int, name string, addr vm.Addr, size int) {
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
 	cr.buffers[bufKey(rank, name)] = bufRef{addr: addr, size: size}
 }
 
 // Buffer looks up a registered buffer.
 func (cr *CaseRun) Buffer(rank int, name string) (vm.Addr, int, bool) {
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
 	b, ok := cr.buffers[bufKey(rank, name)]
 	return b.addr, b.size, ok
 }

@@ -1,0 +1,103 @@
+package scenario
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"omxsim/internal/report"
+)
+
+// resultBytes serialises a run to the canonical JSON the determinism gate
+// compares. encoding/json sorts map keys, so two Results with equal
+// content produce identical bytes.
+func resultBytes(t *testing.T, name string, opts Options) []byte {
+	t.Helper()
+	s, ok := Get(name)
+	if !ok {
+		t.Fatalf("scenario %q not registered", name)
+	}
+	res, err := s.Run(opts)
+	if err != nil {
+		t.Fatalf("%s (shards=%d): %v", name, opts.Shards, err)
+	}
+	if res.Failed() {
+		for _, a := range res.Assertions {
+			if !a.Passed {
+				t.Errorf("%s (shards=%d): assertion %q failed: %s", name, opts.Shards, a.Name, a.Detail)
+			}
+		}
+		t.FailNow()
+	}
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestShardCountInvariance is the parallel engine's determinism gate: the
+// same seed must produce byte-identical results whether the cluster runs
+// on 1, 2, or more shards, and regardless of GOMAXPROCS. Shards=1 is the
+// serial reference (the windowed coordinator on a single engine); higher
+// counts actually run shard goroutines concurrently.
+func TestShardCountInvariance(t *testing.T) {
+	cases := []struct {
+		scenario string
+		shards   []int
+		opts     Options
+	}{
+		// pressure-policies exercises daemons (kswapd), reclaim, swap and
+		// four pinning backends on 2 nodes: shards 1 vs 2.
+		{scenario: "pressure-policies", shards: []int{1, 2}, opts: Options{Quick: true}},
+		// fleet-stream is the 8-node parallel workload: sweep the shard
+		// counts the benchmark uses.
+		{scenario: "fleet-stream", shards: []int{1, 2, 4, 8}, opts: Options{Quick: true}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.scenario, func(t *testing.T) {
+			opts := tc.opts
+			opts.Shards = tc.shards[0]
+			ref := resultBytes(t, tc.scenario, opts)
+			for _, n := range tc.shards[1:] {
+				opts.Shards = n
+				got := resultBytes(t, tc.scenario, opts)
+				if !bytes.Equal(ref, got) {
+					t.Fatalf("%s: shards=%d result differs from shards=%d reference:\n--- shards=%d ---\n%s\n--- shards=%d ---\n%s",
+						tc.scenario, n, tc.shards[0], tc.shards[0], ref, n, got)
+				}
+			}
+		})
+	}
+}
+
+// TestShardGomaxprocsInvariance pins GOMAXPROCS to 1 and re-checks a
+// multi-shard run against the unrestricted reference: goroutine scheduling
+// must not leak into the results.
+func TestShardGomaxprocsInvariance(t *testing.T) {
+	opts := Options{Quick: true, Shards: 4}
+	ref := resultBytes(t, "fleet-stream", opts)
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	got := resultBytes(t, "fleet-stream", opts)
+	if !bytes.Equal(ref, got) {
+		t.Fatalf("fleet-stream shards=4: GOMAXPROCS=1 result differs from GOMAXPROCS=%d", prev)
+	}
+}
+
+// TestShardedMatchesLegacy documents where the windowed coordinator is
+// bit-compatible with the legacy single-engine path: runs that drain
+// completely end with the same statistics (the windowed runs additionally
+// fire daemon ticks up to the final window boundary, which never touch
+// stats for these workloads).
+func TestShardedMatchesLegacy(t *testing.T) {
+	for _, name := range []string{"fleet-stream"} {
+		legacy := resultBytes(t, name, Options{Quick: true})
+		windowed := resultBytes(t, name, Options{Quick: true, Shards: 1})
+		if !bytes.Equal(legacy, windowed) {
+			t.Fatalf("%s: windowed single-shard result differs from legacy path:\n--- legacy ---\n%s\n--- shards=1 ---\n%s",
+				name, legacy, windowed)
+		}
+	}
+}

@@ -271,6 +271,11 @@ type Engine struct {
 	// recurrings tracks live Every handles so RunUntil's clock bump can
 	// re-arm ticks it jumped past (see rearmStaleRecurrings).
 	recurrings []*Recurring
+	// lastFgTime is the timestamp of the most recent foreground (non-daemon)
+	// event fired. A windowed run's clock ends at the window boundary, not at
+	// the last piece of real work; ShardSet uses this to report the same
+	// end-of-simulation time a plain Run would have stopped at.
+	lastFgTime Time
 
 	// Tier 0: zero-delay FIFO ring (events with when == now).
 	fastq    []*Event
@@ -322,6 +327,17 @@ func (e *Engine) EventsFired() uint64 { return e.fired }
 // cancelled. It is O(1): the engine maintains a live-event counter updated
 // on every schedule, fire, and cancel.
 func (e *Engine) Pending() int { return e.pending }
+
+// ForegroundPending reports the pending events that are not daemon work —
+// the count whose reaching zero ends a Run. The shard coordinator sums it
+// across engines to decide global termination.
+func (e *Engine) ForegroundPending() int { return e.pending - e.daemonPending }
+
+// LastForegroundTime reports when the most recent non-daemon event fired.
+// After a drained Run this equals Now(); after a windowed run (RunUntil)
+// the clock sits at the window boundary and this is the time Run would
+// have stopped at.
+func (e *Engine) LastForegroundTime() Time { return e.lastFgTime }
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // a discrete-event simulation cannot rewind its clock, and silently clamping
@@ -516,6 +532,8 @@ func (e *Engine) fire(ev *Event) {
 	e.pending--
 	if ev.daemon {
 		e.daemonPending--
+	} else {
+		e.lastFgTime = e.now
 	}
 	if ev.pooled {
 		e.pool = append(e.pool, ev)

@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestShardSetValidation covers the constructor's argument checks.
+func TestShardSetValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("no engines", func() { NewShardSet(10, nil) })
+	mustPanic("zero lookahead", func() { NewShardSet(0, []*Engine{NewEngine(1)}) })
+}
+
+// TestShardSetPingPong bounces a "message" between two shards: each hop
+// posts a cross event one lookahead ahead of the sender's clock. The run
+// must drain, visit both shards alternately, and advance time by exactly
+// one lookahead per hop.
+func TestShardSetPingPong(t *testing.T) {
+	const L = Duration(100)
+	const hops = 50
+	a, b := NewEngine(1), NewEngine(1)
+	ss := NewShardSet(L, []*Engine{a, b})
+	engines := []*Engine{a, b}
+
+	var times []Time
+	var hop func(shard int)
+	hop = func(shard int) {
+		eng := engines[shard]
+		times = append(times, eng.Now())
+		if len(times) >= hops {
+			return
+		}
+		next := 1 - shard
+		ss.Post(CrossEvent{
+			When:     eng.Now() + Time(L),
+			SendTime: eng.Now(),
+			SrcShard: shard, DstShard: next,
+			SrcNode: shard, DstNode: next,
+			Fn: func() { hop(next) },
+		})
+	}
+	a.At(10, func() { hop(0) })
+	ss.Run()
+
+	if len(times) != hops {
+		t.Fatalf("got %d hops, want %d", len(times), hops)
+	}
+	for i, got := range times {
+		if want := Time(10) + Time(i)*Time(L); got != want {
+			t.Fatalf("hop %d at t=%d, want %d", i, got, want)
+		}
+	}
+	if got := ss.LastForegroundTime(); got != times[hops-1] {
+		t.Errorf("LastForegroundTime = %d, want %d", got, times[hops-1])
+	}
+	if got := ss.EventsFired(); got != hops {
+		t.Errorf("EventsFired = %d, want %d", got, hops)
+	}
+}
+
+// TestShardSetMergeOrder posts same-instant cross events in scrambled
+// call order and checks delivery follows the canonical
+// (When, DstNode, SendTime, SrcNode, SrcSeq) sort — the tie-break that
+// makes sharded traces independent of outbox arrival order.
+func TestShardSetMergeOrder(t *testing.T) {
+	const L = Duration(100)
+	a, b := NewEngine(1), NewEngine(1)
+	ss := NewShardSet(L, []*Engine{a, b})
+
+	var got []string
+	post := func(when Time, dstNode int, sendTime Time, srcNode int, seq uint64) {
+		tag := fmt.Sprintf("dst%d/st%d/src%d/seq%d", dstNode, sendTime, srcNode, seq)
+		ss.Post(CrossEvent{
+			When: when, SendTime: sendTime,
+			SrcShard: 0, DstShard: 1,
+			SrcNode: srcNode, DstNode: dstNode, SrcSeq: seq,
+			Fn: func() { got = append(got, tag) },
+		})
+	}
+	a.At(5, func() {
+		when := a.Now() + Time(L)
+		// Scrambled: canonical order is dst0/seq1, dst0/seq2, dst2/st3,
+		// dst2/st4/src0, dst2/st4/src1.
+		post(when, 2, 4, 1, 9)
+		post(when, 0, 3, 0, 2)
+		post(when, 2, 4, 0, 7)
+		post(when, 0, 3, 0, 1)
+		post(when, 2, 3, 5, 1)
+	})
+	ss.Run()
+
+	want := []string{
+		"dst0/st3/src0/seq1",
+		"dst0/st3/src0/seq2",
+		"dst2/st3/src5/seq1",
+		"dst2/st4/src0/seq7",
+		"dst2/st4/src1/seq9",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("delivered %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delivery[%d] = %s, want %s (full order %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// TestShardSetLookaheadViolation checks that posting an event inside the
+// current window — a conservative-synchronization bug — panics rather
+// than silently delivering late.
+func TestShardSetLookaheadViolation(t *testing.T) {
+	const L = Duration(100)
+	a, b := NewEngine(1), NewEngine(1)
+	ss := NewShardSet(L, []*Engine{a, b})
+	a.At(10, func() {
+		// When == now is inside the window the poster is running in.
+		ss.Post(CrossEvent{When: a.Now(), SrcShard: 0, DstShard: 1, Fn: func() {}})
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected lookahead-violation panic")
+		}
+	}()
+	ss.Run()
+}
+
+// TestShardSetRunUntil checks bounded runs: daemons keep firing through
+// the budget, and every shard clock ends exactly at the deadline.
+func TestShardSetRunUntil(t *testing.T) {
+	const L = Duration(100)
+	a, b := NewEngine(1), NewEngine(1)
+	ss := NewShardSet(L, []*Engine{a, b})
+	ticksA, ticksB := 0, 0
+	a.Every(30, func() { ticksA++ })
+	b.Every(70, func() { ticksB++ })
+	ss.RunUntil(2100)
+	if a.Now() != 2100 || b.Now() != 2100 {
+		t.Fatalf("clocks at %d/%d, want 2100/2100", a.Now(), b.Now())
+	}
+	if want := 2100 / 30; ticksA != want {
+		t.Errorf("shard A daemon ticked %d times, want %d", ticksA, want)
+	}
+	if want := 2100 / 70; ticksB != want {
+		t.Errorf("shard B daemon ticked %d times, want %d", ticksB, want)
+	}
+}
+
+// TestShardSetDaemonDoesNotBlockDrain checks the unbounded-run exit
+// condition: a recurring daemon alone (no foreground work left) must not
+// keep the shard set spinning.
+func TestShardSetDaemonDoesNotBlockDrain(t *testing.T) {
+	const L = Duration(100)
+	a, b := NewEngine(1), NewEngine(1)
+	ss := NewShardSet(L, []*Engine{a, b})
+	a.Every(10, func() {})
+	fired := false
+	b.At(500, func() { fired = true })
+	done := make(chan struct{})
+	go func() { ss.Run(); close(done) }()
+	<-done
+	if !fired {
+		t.Fatal("foreground event never fired")
+	}
+}
+
+// TestShardSetBarrierHook checks hooks run at synchronization barriers —
+// at least once per window round, including the final one.
+func TestShardSetBarrierHook(t *testing.T) {
+	const L = Duration(100)
+	a, b := NewEngine(1), NewEngine(1)
+	ss := NewShardSet(L, []*Engine{a, b})
+	calls := 0
+	ss.AddBarrierHook(func() { calls++ })
+	a.At(10, func() {
+		ss.Post(CrossEvent{When: a.Now() + Time(L), SrcShard: 0, DstShard: 1, Fn: func() {}})
+	})
+	ss.Run()
+	if calls < 2 {
+		t.Fatalf("barrier hook ran %d times, want >= 2", calls)
+	}
+}
