@@ -48,6 +48,8 @@ Flags for run/sweep:
   -quick           reduced size schedules
   -shards int      run each cluster on N parallel engine shards (clamped to
                    its node count; results are shard-count invariant)
+  -chaos-seed int  reseed the chaos fault schedule independently of -seed
+                   (0 = derive from -seed; chaos-profile scenarios only)
   -json            emit machine-readable JSON instead of tables
 
 Flags for bench:
@@ -105,6 +107,9 @@ func list(args []string) {
 			pols = "custom sweep (fixed matrix)"
 		}
 		fmt.Printf("%-*s  policies: %s\n", wid, "", pols)
+		if s.Chaos != nil {
+			fmt.Printf("%-*s  chaos: %s\n", wid, "", s.Chaos.Summary())
+		}
 	}
 }
 
@@ -140,6 +145,7 @@ func runFlags(name string, args []string) (scenario.Options, bool, []string) {
 		fs.Int64Var(&opts.Seed, "seed", opts.Seed, "simulation seed")
 		fs.BoolVar(&opts.Quick, "quick", opts.Quick, "reduced size schedules")
 		fs.IntVar(&opts.Shards, "shards", opts.Shards, "parallel engine shards per cluster (0 = legacy single engine)")
+		fs.Int64Var(&opts.ChaosSeed, "chaos-seed", opts.ChaosSeed, "chaos fault-schedule seed (0 = derive from -seed)")
 		fs.BoolVar(&jsonOut, "json", jsonOut, "emit JSON instead of tables")
 		fs.Parse(args)
 		rest := fs.Args()

@@ -1,0 +1,320 @@
+// Package chaos turns the scenario layer's one-shot fault injectors into
+// a deterministic chaos engine: seeded failure *distributions* (Poisson,
+// uniform, or bursty arrival processes per fault class) that produce
+// node-level failure events — endpoint crash/restart, link degradation
+// and partition windows, runtime memory-budget shrink.
+//
+// Determinism is the design center. A Profile is compiled by Plan into a
+// concrete event list before the simulation starts: every arrival time,
+// target node, and window duration is drawn up front from per-spec RNG
+// streams seeded off the scenario seed, then sorted into a canonical
+// order. Scheduling the resulting events as foreground events on each
+// target node's own engine makes chaos runs reproducible across shard
+// counts and GOMAXPROCS — the plan depends only on (seed, node count,
+// horizon), never on execution order.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"omxsim/internal/ethernet"
+	"omxsim/internal/omx"
+	"omxsim/internal/sim"
+)
+
+// Class enumerates the fault classes the engine injects.
+type Class int
+
+// Fault classes.
+const (
+	// NodeCrash takes a node dark (NIC down, pins released, in-flight
+	// requests aborted) and restarts it after the window.
+	NodeCrash Class = iota
+	// LinkDegrade impairs a node's fabric attachment: extra latency,
+	// bandwidth throttle, raised drop probability.
+	LinkDegrade
+	// Partition is a full partition window (every frame to or from the
+	// node is lost) without crashing the node.
+	Partition
+	// BudgetShrink lowers the node's physical-frame budget for the
+	// window — kswapd suddenly has a lower watermark.
+	BudgetShrink
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case NodeCrash:
+		return "node-crash"
+	case LinkDegrade:
+		return "link-degrade"
+	case Partition:
+		return "partition"
+	case BudgetShrink:
+		return "budget-shrink"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// Arrival selects a spec's inter-arrival process.
+type Arrival int
+
+// Arrival processes.
+const (
+	// Poisson draws exponential gaps with the spec's mean.
+	Poisson Arrival = iota
+	// Uniform draws gaps uniformly in [(1-j), (1+j)] x mean.
+	Uniform
+	// Burst emits BurstLen closely spaced faults, then one mean gap.
+	Burst
+)
+
+// String names the arrival process.
+func (a Arrival) String() string {
+	switch a {
+	case Poisson:
+		return "poisson"
+	case Uniform:
+		return "uniform"
+	case Burst:
+		return "burst"
+	}
+	return fmt.Sprintf("arrival(%d)", int(a))
+}
+
+// Spec is one seeded failure distribution: a fault class, an arrival
+// process with rate/jitter/duration knobs, and class-specific effect
+// parameters.
+type Spec struct {
+	Class   Class
+	Arrival Arrival
+	// MeanGap is the mean inter-arrival time between faults of this spec.
+	MeanGap sim.Duration
+	// Jitter widens Uniform arrivals: gaps span [(1-j), (1+j)] x MeanGap.
+	// Zero selects 0.5. Ignored by Poisson (exponential is its own
+	// jitter) and Burst.
+	Jitter float64
+	// Duration is the fault window length (crash-to-restart,
+	// degrade-to-restore); DurationJitter spreads it uniformly in
+	// [(1-j), (1+j)] x Duration.
+	Duration       sim.Duration
+	DurationJitter float64
+	// BurstLen is the burst size under the Burst arrival (0 = 3).
+	BurstLen int
+	// Nodes restricts targets (nil = every node in the cluster). Each
+	// event picks its target from this set via the spec's RNG stream.
+	Nodes []int
+
+	// Link-degradation effects (LinkDegrade only).
+	ExtraLatency    sim.Duration
+	BandwidthFactor float64
+	DropProb        float64
+
+	// ShrinkFactor scales the frame budget under BudgetShrink, in (0,1);
+	// Frames sets an absolute target instead when non-zero.
+	ShrinkFactor float64
+	Frames       int
+}
+
+// Profile is a scenario's chaos configuration: the failure distributions
+// plus the horizon they fire within and the stress-report bucketing.
+type Profile struct {
+	// Horizon bounds fault arrivals: no fault fires at or after it.
+	// Restore events may land up to one window length past it. Keep it
+	// modest — chaos events are foreground events, so the horizon extends
+	// unbudgeted runs.
+	Horizon sim.Duration
+	// Interval is the stress-report bucket width (0 = 1ms).
+	Interval sim.Duration
+	Specs    []Spec
+}
+
+// BucketInterval returns the effective stress-report bucket width.
+func (p *Profile) BucketInterval() sim.Duration {
+	if p == nil || p.Interval <= 0 {
+		return sim.Millisecond
+	}
+	return p.Interval
+}
+
+// Summary renders the profile compactly for scenario listings.
+func (p *Profile) Summary() string {
+	if p == nil || len(p.Specs) == 0 {
+		return "none"
+	}
+	parts := make([]string, 0, len(p.Specs))
+	for _, sp := range p.Specs {
+		parts = append(parts, fmt.Sprintf("%s(%s mean=%v dur=%v)",
+			sp.Class, sp.Arrival, sp.MeanGap, sp.Duration))
+	}
+	return fmt.Sprintf("horizon=%v %s", p.Horizon, strings.Join(parts, " "))
+}
+
+// Event is one planned fault: apply the class's effect to Node at time
+// At, restore after Duration.
+type Event struct {
+	At       sim.Time
+	Node     int
+	Class    Class
+	Duration sim.Duration
+
+	// Effect parameters copied from the spec.
+	ExtraLatency    sim.Duration
+	BandwidthFactor float64
+	DropProb        float64
+	ShrinkFactor    float64
+	Frames          int
+}
+
+// Plan compiles the profile into a concrete, canonically ordered event
+// list for a cluster of the given node count. Every random draw comes
+// from a per-spec stream seeded off (seed, spec index), so the plan is a
+// pure function of its arguments — identical across shard counts,
+// GOMAXPROCS, and run repetitions.
+func (p *Profile) Plan(seed int64, nodes int) []Event {
+	if p == nil || nodes <= 0 || p.Horizon <= 0 {
+		return nil
+	}
+	var evs []Event
+	for i, sp := range p.Specs {
+		rng := rand.New(rand.NewSource(seed ^ int64((uint64(i)+1)*0x9e3779b97f4a7c15)))
+		evs = append(evs, sp.draw(rng, nodes, p.Horizon)...)
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Class < b.Class
+	})
+	return evs
+}
+
+// draw materializes one spec's arrivals within the horizon.
+func (sp Spec) draw(rng *rand.Rand, nodes int, horizon sim.Duration) []Event {
+	if sp.MeanGap <= 0 {
+		return nil
+	}
+	mean := float64(sp.MeanGap)
+	jitter := sp.Jitter
+	if jitter <= 0 {
+		jitter = 0.5
+	}
+	burstLen := sp.BurstLen
+	if burstLen <= 0 {
+		burstLen = 3
+	}
+	gap := func() sim.Duration {
+		switch sp.Arrival {
+		case Uniform:
+			return sim.Duration(mean * (1 - jitter + 2*jitter*rng.Float64()))
+		default: // Poisson (and the inter-burst gap for Burst)
+			return sim.Duration(rng.ExpFloat64() * mean)
+		}
+	}
+	duration := func() sim.Duration {
+		d := float64(sp.Duration)
+		if sp.DurationJitter > 0 {
+			j := sp.DurationJitter
+			d *= 1 - j + 2*j*rng.Float64()
+		}
+		return sim.Duration(d)
+	}
+	target := func() int {
+		if len(sp.Nodes) > 0 {
+			return sp.Nodes[rng.Intn(len(sp.Nodes))]
+		}
+		return rng.Intn(nodes)
+	}
+	event := func(t sim.Time) Event {
+		return Event{
+			At: t, Node: target(), Class: sp.Class, Duration: duration(),
+			ExtraLatency: sp.ExtraLatency, BandwidthFactor: sp.BandwidthFactor,
+			DropProb: sp.DropProb, ShrinkFactor: sp.ShrinkFactor, Frames: sp.Frames,
+		}
+	}
+	var evs []Event
+	t := sim.Time(0)
+	for {
+		t += sim.Time(gap())
+		if t >= sim.Time(horizon) {
+			return evs
+		}
+		if sp.Arrival == Burst {
+			// The burst's faults land MeanGap/8 apart; the gap above
+			// separates bursts.
+			bt := t
+			for i := 0; i < burstLen && bt < sim.Time(horizon); i++ {
+				evs = append(evs, event(bt))
+				bt += sim.Time(mean / 8)
+			}
+			t = bt
+			continue
+		}
+		evs = append(evs, event(t))
+	}
+}
+
+// Apply fires one planned event against its node, scheduling the
+// matching restore on the node's own engine and recording the fault (and
+// later the recovery) in rec. It must run as an event on n.Eng — the
+// scenario runner arms each event on the target's shard engine, which is
+// what keeps chaos shard-safe: all mutated state (NIC, VM budget,
+// protocol state) is owned by that engine.
+func Apply(n *omx.Node, ev Event, rec *Recorder) {
+	eng := n.Eng
+	switch ev.Class {
+	case NodeCrash:
+		if n.Crashed() {
+			return // overlapping crash window
+		}
+		rec.Fault(eng.Now())
+		n.Crash()
+		eng.After(ev.Duration, func() {
+			n.Restart()
+			rec.Recovery(eng.Now())
+		})
+	case LinkDegrade, Partition:
+		d := ethernet.Degrade{
+			ExtraLatency:    ev.ExtraLatency,
+			BandwidthFactor: ev.BandwidthFactor,
+			DropProb:        ev.DropProb,
+		}
+		if ev.Class == Partition {
+			d = ethernet.Degrade{DropProb: 1}
+		}
+		rec.Fault(eng.Now())
+		n.NIC.SetDegraded(d)
+		eng.After(ev.Duration, func() {
+			n.NIC.ClearDegraded()
+			rec.Recovery(eng.Now())
+		})
+	case BudgetShrink:
+		prev := n.Phys.Capacity()
+		frames := ev.Frames
+		if frames <= 0 {
+			f := ev.ShrinkFactor
+			if f <= 0 || f >= 1 {
+				f = 0.5
+			}
+			frames = int(float64(prev) * f)
+		}
+		if frames < 1 {
+			frames = 1
+		}
+		if !n.ResizeMemory(frames) {
+			return // unbounded node: nothing to shrink
+		}
+		rec.Fault(eng.Now())
+		eng.After(ev.Duration, func() {
+			n.ResizeMemory(prev)
+			rec.Recovery(eng.Now())
+		})
+	}
+}

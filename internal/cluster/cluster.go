@@ -315,6 +315,9 @@ func (cl *Cluster) Stats() omx.NodeStats {
 		total.OptimisticReReqs += s.OptimisticReReqs
 		total.Retransmits += s.Retransmits
 		total.DupFrags += s.DupFrags
+		total.ReqAborts += s.ReqAborts
+		total.Crashes += s.Crashes
+		total.Restarts += s.Restarts
 	}
 	return total
 }

@@ -75,6 +75,11 @@ type Manager struct {
 	// a mapping that no longer exists.
 	OnInvalidateInUse func(*Region)
 
+	// OnPinChurn, when non-nil, observes every pin/unpin page-count
+	// change (pinned=true for pins). The chaos stress report buckets the
+	// churn per interval through it.
+	OnPinChurn func(pages int, pinned bool)
+
 	pinnedTotal int // pages currently pinned across regions
 	stats       Stats
 }
@@ -107,6 +112,22 @@ func (m *Manager) Close() {
 		m.unpinNow(r)
 	}
 	m.regions = make(map[RegionID]*Region)
+}
+
+// ReleaseAll drops every pin the manager holds without detaching it — the
+// driver's crash path: pinned pages do not survive the instance, but the
+// declarations do, so surviving regions repin on demand when the node
+// restarts. Waiters on in-flight pins fail with ErrPinFailed.
+func (m *Manager) ReleaseAll() {
+	for _, r := range m.regions {
+		if r.state == stateUnpinned && r.pinnedPages == 0 {
+			continue
+		}
+		err := fmt.Errorf("%w: pins released on crash", ErrPinFailed)
+		m.failWaiters(r, err)
+		m.failPrefixWaiters(r, err)
+		m.unpinNow(r)
+	}
 }
 
 // Policy returns the configured pin-policy enum value (the zero value
@@ -360,6 +381,9 @@ func (m *Manager) startPin(r *Region) {
 			r.pinnedPages += n
 			m.pinnedTotal += n
 			m.stats.PagesPinned += uint64(n)
+			if m.OnPinChurn != nil {
+				m.OnPinChurn(n, true)
+			}
 			m.wakePrefixWaiters(r)
 			if last {
 				m.finishPin(r, nil)
@@ -451,6 +475,9 @@ func (m *Manager) unpinNow(r *Region) {
 		m.pinnedTotal -= dropped
 		m.stats.PagesUnpinned += uint64(dropped)
 		m.stats.UnpinOps++
+		if m.OnPinChurn != nil {
+			m.OnPinChurn(dropped, false)
+		}
 		m.emit(trace.Unpin, uint64(r.id), dropped, 0)
 	}
 	r.pinnedPages = 0

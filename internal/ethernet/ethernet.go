@@ -51,6 +51,24 @@ func DefaultLinkConfig() LinkConfig {
 	return LinkConfig{BytesPerSec: 1.25e9, PropDelay: 500 * sim.Nanosecond}
 }
 
+// Degrade describes a temporary impairment of one NIC's attachment to the
+// fabric. Zero-valued fields leave that aspect of the link untouched; a
+// DropProb of 1 is a full partition window.
+type Degrade struct {
+	// ExtraLatency is added once per traversal on each degraded side:
+	// egress frames from a degraded NIC and ingress frames to a degraded
+	// NIC each pay it (propagation only — it never occupies the wire).
+	ExtraLatency sim.Duration
+	// BandwidthFactor scales the signalling rate of egress links, in
+	// (0, 1]. Zero means no throttle.
+	BandwidthFactor float64
+	// DropProb is an additional i.i.d. loss probability applied per
+	// direction: egress drops draw from the NIC's tx RNG, ingress drops
+	// from a separate rx RNG, so loss patterns stay independent of how
+	// traffic from other nodes interleaves.
+	DropProb float64
+}
+
 // NIC is a network interface. RX delivery invokes the registered handler in
 // "interrupt context" — handlers are expected to do minimal work and
 // schedule bottom-half processing on a core.
@@ -81,6 +99,24 @@ type NIC struct {
 	// another's loss pattern).
 	rng *rand.Rand
 
+	// rxRng is a second private stream for ingress loss decisions under
+	// degradation. Ingress and egress must not share a stream: egress
+	// draws happen at send time on the source engine, ingress draws at
+	// delivery time on this NIC's engine, and interleaving them would
+	// make drop sequences depend on global event order.
+	rxRng *rand.Rand
+
+	// Lifecycle and degradation state. Both are only ever mutated by
+	// events on this NIC's own engine (chaos events land on the owning
+	// shard); Send consults the source NIC's state, Deliver the
+	// destination's, so no cross-shard reads of mutable state occur.
+	down bool
+	// degradeDepth counts overlapping degradation windows; the NIC is
+	// degraded while it is positive. The most recent SetDegraded wins for
+	// the effect values — chaos windows restore by depth, not by value.
+	degradeDepth int
+	degrade      Degrade
+
 	// Statistics. txFrames doubles as the per-source sequence number the
 	// shard router uses to tie-break simultaneous cross-shard arrivals.
 	txFrames, rxFrames uint64
@@ -108,6 +144,35 @@ func (n *NIC) RxBytes() uint64 { return n.rxBytes }
 
 // Dropped reports frames lost on links out of this NIC.
 func (n *NIC) Dropped() uint64 { return n.dropped }
+
+// SetDown sets the NIC's link state. A down NIC transmits nothing and
+// discards every arriving frame — the node has gone dark as far as the
+// fabric is concerned. Must be called from an event on the NIC's own
+// engine (shard ownership).
+func (n *NIC) SetDown(down bool) { n.down = down }
+
+// Down reports whether the NIC is dark.
+func (n *NIC) Down() bool { return n.down }
+
+// SetDegraded opens one degradation window with the given impairments.
+// Windows nest: each SetDegraded must be balanced by one ClearDegraded,
+// and the NIC stays degraded (with the most recent effects) until the
+// depth returns to zero. Must run on the NIC's own engine.
+func (n *NIC) SetDegraded(d Degrade) {
+	n.degradeDepth++
+	n.degrade = d
+}
+
+// ClearDegraded closes one degradation window.
+func (n *NIC) ClearDegraded() {
+	if n.degradeDepth == 0 {
+		panic("ethernet: ClearDegraded without matching SetDegraded")
+	}
+	n.degradeDepth--
+}
+
+// Degraded reports whether any degradation window is open.
+func (n *NIC) Degraded() bool { return n.degradeDepth > 0 }
 
 // SetHandler installs the RX interrupt handler.
 func (n *NIC) SetHandler(h func(*Frame)) { n.handler = h }
@@ -188,6 +253,7 @@ func (f *Fabric) AddNICOn(eng *sim.Engine, nodeID, mtu int) *NIC {
 		fabric:     f,
 		txBusy:     make(map[int]sim.Time),
 		rng:        rand.New(rand.NewSource(f.Seed ^ int64(uint64(nodeID)*0x9e3779b97f4a7c15))),
+		rxRng:      rand.New(rand.NewSource(f.Seed ^ int64(uint64(nodeID)*0x9e3779b97f4a7c15+0x6b79b56c3b21cd4f))),
 	}
 	f.nics[nodeID] = n
 	return n
@@ -212,6 +278,12 @@ func (n *NIC) Send(fr *Frame) {
 	if !ok {
 		panic(fmt.Sprintf("ethernet: send to unknown node %d", fr.Dst))
 	}
+	if n.down {
+		// A dark NIC transmits nothing: the frame vanishes without
+		// occupying the wire or advancing the tx sequence.
+		n.dropped++
+		return
+	}
 	fr.Src = n.nodeID
 	n.txFrames++
 	n.txBytes += uint64(fr.Size)
@@ -219,6 +291,9 @@ func (n *NIC) Send(fr *Frame) {
 	bw := n.fabric.cfg.BytesPerSec
 	if fr.Dst == n.nodeID && n.fabric.LoopbackBytesPerSec > 0 {
 		bw = n.fabric.LoopbackBytesPerSec
+	}
+	if n.degradeDepth > 0 && n.degrade.BandwidthFactor > 0 {
+		bw *= n.degrade.BandwidthFactor
 	}
 	wireTime := sim.Duration(float64(fr.Size+WireOverhead) / bw * 1e9)
 
@@ -240,6 +315,13 @@ func (n *NIC) Send(fr *Frame) {
 		return
 	}
 	when := end + n.fabric.cfg.PropDelay + dst.rxDelay
+	if n.degradeDepth > 0 {
+		if p := n.degrade.DropProb; p > 0 && n.rng.Float64() < p {
+			n.dropped++
+			return
+		}
+		when += n.degrade.ExtraLatency
+	}
 	if n.fabric.route != nil {
 		n.fabric.route(dst, fr, when, sendTime, n.txFrames)
 		return
@@ -250,7 +332,35 @@ func (n *NIC) Send(fr *Frame) {
 // Deliver hands an arrived frame to the NIC's handler, in interrupt
 // context at the current simulated time. The shard router calls it on
 // the destination engine; the legacy path schedules it directly.
+// Destination-side impairments apply here, on the destination engine,
+// reading only destination-owned state: a down NIC discards the frame, a
+// degraded one may drop it (rx RNG) or defer the handler by the window's
+// extra latency.
 func (n *NIC) Deliver(fr *Frame) {
+	if n.down {
+		n.dropped++
+		return
+	}
+	if n.degradeDepth > 0 {
+		if p := n.degrade.DropProb; p > 0 && n.rxRng.Float64() < p {
+			n.dropped++
+			return
+		}
+		if d := n.degrade.ExtraLatency; d > 0 {
+			n.eng.After(d, func() { n.deliverNow(fr) })
+			return
+		}
+	}
+	n.deliverNow(fr)
+}
+
+func (n *NIC) deliverNow(fr *Frame) {
+	if n.down {
+		// The NIC went dark while the frame sat in the deferred-delivery
+		// window.
+		n.dropped++
+		return
+	}
 	n.rxFrames++
 	n.rxBytes += uint64(fr.Size)
 	if n.handler != nil {

@@ -248,6 +248,53 @@ func (c *Comm) Recv(addr vm.Addr, n, src, tag int) Status {
 		encodeMatch(ctxPt2pt, s, tag), matchMask(src), true))
 }
 
+// WaitE blocks until the request completes and returns its error instead
+// of panicking — the MPI_ERRORS_RETURN handler. Fault-tolerant workloads
+// (the chaos scenarios) use it so peer deaths surface as typed errors.
+func (c *Comm) WaitE(r *omx.Request) (Status, error) {
+	if err := c.ep.Wait(c.p, r); err != nil {
+		return Status{}, err
+	}
+	return statusOf(r), nil
+}
+
+// SendE is Send with errors returned instead of panicking.
+func (c *Comm) SendE(addr vm.Addr, n, dst, tag int) error {
+	_, err := c.WaitE(c.ep.IsendVHint([]omx.Segment{{Addr: addr, Len: n}},
+		encodeMatch(ctxPt2pt, c.rank, tag), c.world.eps[dst].Addr(), true))
+	return err
+}
+
+// RecvE is Recv with errors returned instead of panicking.
+func (c *Comm) RecvE(addr vm.Addr, n, src, tag int) (Status, error) {
+	s := src
+	if src == AnySource {
+		s = 0
+	}
+	return c.WaitE(c.ep.IrecvVHint([]omx.Segment{{Addr: addr, Len: n}},
+		encodeMatch(ctxPt2pt, s, tag), matchMask(src), true))
+}
+
+// RecvTimeout is RecvE with a deadline: if the receive has not completed
+// after d, it is cancelled and returns omx.ErrTimeout (wrapped in
+// omx.ErrAborted). The bound makes "a message that never comes" — the
+// sender crashed before its envelope hit the wire — a typed error instead
+// of a hang.
+func (c *Comm) RecvTimeout(addr vm.Addr, n, src, tag int, d sim.Duration) (Status, error) {
+	s := src
+	if src == AnySource {
+		s = 0
+	}
+	r := c.ep.IrecvVHint([]omx.Segment{{Addr: addr, Len: n}},
+		encodeMatch(ctxPt2pt, s, tag), matchMask(src), true)
+	timer := c.ep.Node().Eng.After(d, func() {
+		c.ep.CancelRecv(r, omx.ErrTimeout)
+	})
+	st, err := c.WaitE(r)
+	timer.Cancel() // no-op if already fired
+	return st, err
+}
+
 // Sendrecv performs a simultaneous send and receive (MPI_Sendrecv).
 func (c *Comm) Sendrecv(saddr vm.Addr, sn, dst, stag int, raddr vm.Addr, rn, src, rtag int) Status {
 	rr := c.Irecv(raddr, rn, src, rtag)

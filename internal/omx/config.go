@@ -73,6 +73,13 @@ type Config struct {
 	// lower to keep simulated runs short while preserving the two-level
 	// (fast optimistic / slow fallback) structure.
 	RetransmitTimeout sim.Duration
+	// PeerDeadTimeout bounds how long a request keeps retrying against a
+	// silent peer before aborting with ErrPeerDead. Retry timers back off
+	// exponentially once no progress is seen, and a request whose peer has
+	// been quiet this long is declared dead. Defaults to
+	// 16 × RetransmitTimeout; it must comfortably exceed the retry cadence
+	// so lossy-but-alive links recover rather than abort.
+	PeerDeadTimeout sim.Duration
 	// PinnedPageLimit caps driver-pinned pages per endpoint (0 = unlimited).
 	PinnedPageLimit int
 	// PinChunkPages is the pin work granularity on the core (0 = driver
@@ -163,6 +170,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetransmitTimeout == 0 {
 		c.RetransmitTimeout = d.RetransmitTimeout
+	}
+	if c.PeerDeadTimeout == 0 {
+		// Scale from the effective retransmit timeout so short-timeout
+		// test configurations keep the two bounds proportioned.
+		c.PeerDeadTimeout = 16 * c.RetransmitTimeout
 	}
 	if c.SyncPrefixPages == 0 {
 		c.SyncPrefixPages = d.SyncPrefixPages

@@ -11,11 +11,18 @@ import (
 	"omxsim/internal/vm"
 )
 
-// Errors surfaced on requests.
+// Errors surfaced on requests. ErrPeerDead and ErrTimeout wrap ErrAborted,
+// so errors.Is(err, ErrAborted) holds for every liveness abort.
 var (
 	ErrTruncated  = errors.New("omx: message longer than posted receive")
 	ErrAborted    = errors.New("omx: request aborted")
 	ErrPinAborted = errors.New("omx: pinning failed, request aborted")
+	// ErrPeerDead marks a request aborted because its peer stopped
+	// responding for PeerDeadTimeout (crashed node, partitioned link).
+	ErrPeerDead = fmt.Errorf("%w: peer dead", ErrAborted)
+	// ErrTimeout marks a receive cancelled by a caller-armed deadline
+	// (mpi.Comm.RecvTimeout).
+	ErrTimeout = fmt.Errorf("%w: receive timed out", ErrAborted)
 )
 
 // ReqKind distinguishes send and receive requests.
@@ -103,6 +110,10 @@ type sendState struct {
 	rtxTimer *sim.Event
 	tries    int
 	acked    bool // rndv implicitly acked by first pull request
+	// quietSince is when the peer last showed signs of life for this
+	// message (submission, then every pull request). A send whose peer
+	// has been quiet for PeerDeadTimeout aborts with ErrPeerDead.
+	quietSince sim.Time
 }
 
 type sendKey struct {
@@ -258,13 +269,14 @@ func (ep *Endpoint) IsendV(segs []Segment, match uint64, dst EndpointAddr) *Requ
 // operations benefit most from overlapped pinning).
 func (ep *Endpoint) IsendVHint(segs []Segment, match uint64, dst EndpointAddr, blocking bool) *Request {
 	req := &Request{Kind: KindSend, ep: ep, segs: segs, overlap: ep.useOverlap(blocking)}
+	ep.node.inflight++
 	total := 0
 	for _, s := range segs {
 		total += s.Len
 	}
 	seq := ep.sendSeq[dst] + 1
 	ep.sendSeq[dst] = seq
-	ss := &sendState{dst: dst, seq: seq, total: total, req: req}
+	ss := &sendState{dst: dst, seq: seq, total: total, req: req, quietSince: ep.node.Eng.Now()}
 	ep.sends[sendKey{dst, seq}] = ss
 	// The syscall enters the kernel, then the send path runs.
 	ep.core.Submit(cpu.Kernel, ep.cfg.SyscallCost, func() {
@@ -300,6 +312,7 @@ func (ep *Endpoint) IrecvVHint(segs []Segment, match, mask uint64, blocking bool
 	}
 	req := &Request{Kind: KindRecv, ep: ep, match: match, mask: mask, postedLen: total,
 		segs: segs, overlap: ep.useOverlap(blocking)}
+	ep.node.inflight++
 	ep.core.Submit(cpu.Kernel, ep.cfg.SyscallCost, func() {
 		if total > ep.cfg.EagerThreshold {
 			ep.proc.cache.GetAsyncOn(ep.core, segs, func(r *core.Region, err error) {
@@ -356,6 +369,9 @@ func (ep *Endpoint) AdviseV(segs []Segment) {
 // postRecv runs the MX matching rule: first try the unexpected queue in
 // arrival order, else append to the posted queue.
 func (ep *Endpoint) postRecv(req *Request) {
+	if req.done.Done() {
+		return // cancelled while the post syscall/declare was in flight
+	}
 	for i, rs := range ep.unexpected {
 		if matches(req.match, req.mask, rs.match) {
 			ep.unexpected = append(ep.unexpected[:i], ep.unexpected[i+1:]...)
@@ -397,7 +413,85 @@ func (ep *Endpoint) complete(req *Request, err error) {
 		ep.proc.cache.PutOn(ep.core, req.region)
 		req.region = nil
 	}
+	ep.node.inflight--
+	if err != nil {
+		ep.node.stats.ReqAborts++
+		if ep.node.onAbort != nil {
+			ep.node.onAbort(req.Kind, err)
+		}
+	}
 	req.done.Complete(ep.node.Eng, nil)
+}
+
+// CancelRecv aborts a posted receive with the given error (typically
+// ErrTimeout from a caller-armed deadline). An unmatched receive leaves
+// the posted queue; a matched one tears down its message state. Safe to
+// call after completion (reports false). Cancelling a matched receive
+// whose sender is still alive loses that message — the caller has decided
+// it is not coming.
+func (ep *Endpoint) CancelRecv(req *Request, err error) bool {
+	if req.Kind != KindRecv || req.done.Done() {
+		return false
+	}
+	for i, r := range ep.posted {
+		if r == req {
+			ep.posted = append(ep.posted[:i], ep.posted[i+1:]...)
+			ep.complete(req, err)
+			return true
+		}
+	}
+	for _, rs := range ep.rstates {
+		if rs.matched != req || rs.completed {
+			continue
+		}
+		if rs.isLarge {
+			ep.finishPull(rs, err)
+		} else {
+			rs.completed = true
+			delete(ep.rstates, rs.key)
+			ep.complete(req, err)
+		}
+		return true
+	}
+	// Not yet queued (post syscall or declare still in flight): complete
+	// now; postRecv skips completed requests.
+	ep.complete(req, err)
+	return true
+}
+
+// crashAbort tears down every in-flight exchange when the owning node
+// crashes: sends and matched receives complete with the given typed error
+// and no wire traffic (the NIC is dark). Posted-but-unmatched receives
+// stay live — peers may re-establish after a restart — and the per-peer
+// sequence state survives so post-restart admission stays in order.
+func (ep *Endpoint) crashAbort(err error) {
+	for _, ss := range ep.sends {
+		ep.abortSend(ss, err)
+	}
+	for _, rs := range ep.rstates {
+		for _, tm := range []*sim.Event{rs.reqTimer, rs.missRetry, rs.notifyTimer} {
+			if tm != nil {
+				tm.Cancel()
+			}
+		}
+		if rs.completed {
+			delete(ep.rstates, rs.key)
+			continue
+		}
+		if rs.matched != nil {
+			rs.completed = true
+			delete(ep.activePulls, rs)
+			ep.complete(rs.matched, err)
+		} else {
+			for i, u := range ep.unexpected {
+				if u == rs {
+					ep.unexpected = append(ep.unexpected[:i], ep.unexpected[i+1:]...)
+					break
+				}
+			}
+		}
+		delete(ep.rstates, rs.key)
+	}
 }
 
 // dispatchBH schedules bottom-half processing for one received frame on the
@@ -466,6 +560,45 @@ func (ep *Endpoint) abortRegionUsers(r *core.Region) {
 			ep.finishPull(rs, fmt.Errorf("%w: buffer invalidated during receive", ErrPinAborted))
 		}
 	}
+}
+
+// doneBelow reports the contiguous-finished watermark toward dst: every
+// sequence number at or below it has left ep.sends (delivered or
+// aborted). Envelope messages carry it so receivers never wait forever on
+// admission gaps left by aborted sends.
+func (ep *Endpoint) doneBelow(dst EndpointAddr) uint64 {
+	low := ep.sendSeq[dst]
+	for k := range ep.sends {
+		if k.dst == dst && k.seq <= low {
+			low = k.seq - 1
+		}
+	}
+	return low
+}
+
+// advanceDone applies a sender's finished watermark: sequence numbers at
+// or below it will never be (re)sent, so in-order admission may advance
+// past them. Fully arrived eager messages below the watermark are
+// admitted as they stand; half-arrived ones (the sender gave up — peer
+// death, crash) are dropped.
+func (ep *Endpoint) advanceDone(src EndpointAddr, doneBelow uint64) {
+	if doneBelow <= ep.recvNext[src] {
+		return
+	}
+	for ep.recvNext[src] < doneBelow {
+		next := ep.recvNext[src] + 1
+		if rs, ok := ep.rstates[msgKey{src, next}]; ok && !rs.admitted {
+			if !rs.isLarge && rs.fragsGot == rs.nfrags {
+				rs.admitted = true
+				ep.recvNext[src] = next
+				ep.matchOrQueue(rs)
+				continue
+			}
+			delete(ep.rstates, rs.key)
+		}
+		ep.recvNext[src] = next
+	}
+	ep.admit(src)
 }
 
 // admit advances per-source envelope admission in sequence order, so MPI

@@ -7,6 +7,7 @@ import (
 	"omxsim/internal/ethernet"
 	"omxsim/internal/ioat"
 	"omxsim/internal/sim"
+	"omxsim/internal/trace"
 	"omxsim/internal/vm"
 )
 
@@ -24,6 +25,9 @@ type NodeStats struct {
 	OptimisticReReqs    uint64 // gap-driven re-requests (higher offsets seen)
 	Retransmits         uint64 // control-message timeouts (rndv/eager/notify)
 	DupFrags            uint64 // duplicate data fragments discarded
+	ReqAborts           uint64 // requests completed with an error
+	Crashes             uint64 // node crash events
+	Restarts            uint64 // node restart events
 }
 
 // Node is one host: cores, physical memory, a NIC, an I/OAT engine, and the
@@ -52,7 +56,27 @@ type Node struct {
 	// (paper §3.3 footnote 2). It is applied by the NIC at frame delivery
 	// (one event per frame instead of two); use SetIntrDelay to change it.
 	intrDelay sim.Duration
+
+	// inflight counts requests issued but not completed; it must drain to
+	// zero by the end of a run (the chaos scenarios assert it — a crash
+	// may abort requests but must never strand one).
+	inflight int
+	// crashed marks a node between Crash and Restart.
+	crashed bool
+	// onAbort, when set, observes every request completing with an error
+	// (the chaos stress report counts aborts per interval through it).
+	onAbort func(kind ReqKind, err error)
 }
+
+// InFlightRequests reports requests issued but not yet completed.
+func (n *Node) InFlightRequests() int { return n.inflight }
+
+// Crashed reports whether the node is between Crash and Restart.
+func (n *Node) Crashed() bool { return n.crashed }
+
+// SetAbortHook installs an observer for request aborts (err != nil
+// completions).
+func (n *Node) SetAbortHook(fn func(kind ReqKind, err error)) { n.onAbort = fn }
 
 // SetIntrDelay changes the IRQ/NAPI pipeline latency for this node's NIC.
 func (n *Node) SetIntrDelay(d sim.Duration) {
@@ -96,6 +120,60 @@ func (n *Node) Stats() NodeStats { return n.stats }
 func (n *Node) Endpoint(id int) (*Endpoint, bool) {
 	ep, ok := n.endpoints[id]
 	return ep, ok
+}
+
+// Crash takes the node dark, as if it lost power: the NIC stops
+// transmitting and discards arrivals, every in-flight request completes
+// with a typed ErrPeerDead-wrapped error, and every driver-pinned page is
+// released (pins do not survive a crash). Endpoint registrations and
+// per-peer sequence state survive — the model's stand-in for stable
+// identity across an instance restart — so peers re-establish after
+// Restart. Must run as an event on the node's own engine.
+func (n *Node) Crash() {
+	if n.crashed {
+		return
+	}
+	n.crashed = true
+	n.stats.Crashes++
+	n.NIC.SetDown(true)
+	err := fmt.Errorf("%w: node %d crashed", ErrPeerDead, n.ID)
+	procs := make(map[*Process]struct{})
+	for _, ep := range n.endpoints {
+		ep.emit(trace.NodeCrash, 0, n.ID, 0)
+		ep.crashAbort(err)
+		procs[ep.proc] = struct{}{}
+	}
+	for p := range procs {
+		p.mgr.ReleaseAll()
+	}
+}
+
+// Restart brings a crashed node back: the NIC re-registers with the
+// fabric and traffic flows again. Regions repin on demand as transfers
+// acquire them.
+func (n *Node) Restart() {
+	if !n.crashed {
+		return
+	}
+	n.crashed = false
+	n.stats.Restarts++
+	n.NIC.SetDown(false)
+	for _, ep := range n.endpoints {
+		ep.emit(trace.NodeRestart, 0, n.ID, 0)
+	}
+}
+
+// ResizeMemory changes the node's physical-frame budget at runtime (a
+// chaos budget-shrink event) and re-derives the default kswapd
+// watermarks from the new capacity. No-op on nodes with unbounded
+// memory; reports whether the resize applied.
+func (n *Node) ResizeMemory(frames int) bool {
+	if n.Phys.Capacity() <= 0 || frames <= 0 {
+		return false
+	}
+	n.Phys.Resize(frames)
+	n.Phys.SetWatermarks(0, 0)
+	return true
 }
 
 // maxData is the data payload available per frame after the MXoE header.

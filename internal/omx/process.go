@@ -80,6 +80,9 @@ func (n *Node) NewProcess(pid, coreIdx int, cfg Config) (*Process, error) {
 // PID returns the process id.
 func (p *Process) PID() int { return p.pid }
 
+// Node returns the host the process runs on.
+func (p *Process) Node() *Node { return p.node }
+
 // Manager exposes the process's driver-side region manager.
 func (p *Process) Manager() *core.Manager { return p.mgr }
 

@@ -1,6 +1,7 @@
 package omx
 
 import (
+	"errors"
 	"fmt"
 
 	"omxsim/internal/cpu"
@@ -12,6 +13,7 @@ import (
 // the kernel intermediate buffer, reassemble, ack when complete, deliver if
 // matched.
 func (ep *Endpoint) handleEagerFrag(m *eagerFrag) {
+	ep.advanceDone(m.src, m.doneBelow)
 	key := msgKey{m.src, m.seq}
 	rs, ok := ep.rstates[key]
 	if !ok {
@@ -84,6 +86,7 @@ func (ep *Endpoint) maybeDeliverEager(rs *rstate) {
 // handleRndv admits a large-message envelope; the pull starts when (and if)
 // a receive matches it.
 func (ep *Endpoint) handleRndv(m *rndvMsg) {
+	ep.advanceDone(m.src, m.doneBelow)
 	key := msgKey{m.src, m.seq}
 	if _, ok := ep.rstates[key]; ok {
 		return // duplicate rendezvous; transfer already in progress
@@ -280,19 +283,30 @@ func (ep *Endpoint) scheduleMissRetry(rs *rstate) {
 // path is gap-driven (noteArrival), like Open-MX's optimistic re-request;
 // this timer catches total silence — a lost pull request with nothing
 // behind it, or an overlap-miss avalanche that dropped every outstanding
-// fragment — well before the coarse control-message timeout.
+// fragment — well before the coarse control-message timeout. Sustained
+// silence backs the cadence off exponentially and, past PeerDeadTimeout,
+// declares the sender dead: the pull aborts with ErrPeerDead instead of
+// re-requesting a crashed or partitioned peer forever.
 func (ep *Endpoint) armReRequest(rs *rstate) {
+	ep.armReRequestAfter(rs, ep.cfg.ReRequestDelay)
+}
+
+func (ep *Endpoint) armReRequestAfter(rs *rstate, delay sim.Duration) {
 	if rs.reqTimer != nil {
 		rs.reqTimer.Cancel()
 	}
-	rs.reqTimer = ep.node.Eng.After(ep.cfg.ReRequestDelay, func() {
+	rs.reqTimer = ep.node.Eng.After(delay, func() {
 		if rs.completed {
 			return
 		}
-		if ep.node.Eng.Now()-rs.lastProgress >= ep.cfg.ReRequestDelay {
+		stalled := ep.node.Eng.Now() - rs.lastProgress
+		if stalled >= ep.cfg.ReRequestDelay {
+			if stalled >= ep.cfg.PeerDeadTimeout {
+				ep.finishPull(rs, fmt.Errorf("%w: pull silent for %v", ErrPeerDead, stalled))
+				return
+			}
 			if DebugReReq != nil {
-				DebugReReq(rs.received, rs.total, rs.outstanding,
-					int64(ep.node.Eng.Now()-rs.lastProgress))
+				DebugReReq(rs.received, rs.total, rs.outstanding, int64(stalled))
 			}
 			for i := 0; i < rs.nextBlockOff; i++ {
 				b := &rs.blocks[i]
@@ -301,6 +315,12 @@ func (ep *Endpoint) armReRequest(rs *rstate) {
 				}
 				ep.reRequestBlock(rs, b)
 			}
+			next := delay * 2
+			if max := 8 * ep.cfg.ReRequestDelay; next > max {
+				next = max
+			}
+			ep.armReRequestAfter(rs, next)
+			return
 		}
 		ep.armReRequest(rs)
 	})
@@ -409,6 +429,14 @@ func (ep *Endpoint) finishPull(rs *rstate, err error) {
 	if rs.missRetry != nil {
 		rs.missRetry.Cancel()
 		rs.missRetry = nil
+	}
+	if err != nil && (errors.Is(err, ErrPeerDead) || errors.Is(err, ErrTimeout)) {
+		// The sender is dead or presumed dead: notifying it would only
+		// spin the retransmit loop against silence. Reap immediately; a
+		// surviving sender's own liveness bound cleans up its side.
+		delete(ep.rstates, rs.key)
+		ep.complete(rs.matched, err)
+		return
 	}
 	sendNotify := func() {
 		ep.emit(trace.NotifySent, rs.key.seq, rs.received, rs.total)

@@ -49,6 +49,7 @@ func (ep *Endpoint) sendEagerFrags(ss *sendState, match uint64) {
 	if nfrags == 0 {
 		nfrags = 1 // zero-length messages still carry an envelope
 	}
+	db := ep.doneBelow(ss.dst)
 	for f := 0; f < nfrags; f++ {
 		off := f * maxData
 		end := off + maxData
@@ -58,7 +59,7 @@ func (ep *Endpoint) sendEagerFrags(ss *sendState, match uint64) {
 		ep.node.send(ss.dst.Node, end-off, &eagerFrag{
 			src: ep.addr, dst: ss.dst, seq: ss.seq, match: match,
 			total: ss.total, off: off, data: ss.data[off:end],
-			nfrags: nfrags, frag: f,
+			nfrags: nfrags, frag: f, doneBelow: db,
 		})
 	}
 }
@@ -84,10 +85,12 @@ func (ep *Endpoint) startRendezvous(ss *sendState, match uint64) {
 			ep.emit(trace.RndvSent, ss.seq, ss.total, 0)
 			ep.node.send(ss.dst.Node, 0, &rndvMsg{
 				src: ep.addr, dst: ss.dst, seq: ss.seq, match: match, total: ss.total,
+				doneBelow: ep.doneBelow(ss.dst),
 			})
 			ep.armSendRetransmit(ss, func() {
 				ep.node.send(ss.dst.Node, 0, &rndvMsg{
 					src: ep.addr, dst: ss.dst, seq: ss.seq, match: match, total: ss.total,
+					doneBelow: ep.doneBelow(ss.dst),
 				})
 			})
 		}
@@ -129,13 +132,30 @@ func (ep *Endpoint) abortSend(ss *sendState, err error) {
 	ep.complete(ss.req, err)
 }
 
+// retryBackoff is the exponential retry-delay schedule shared by the
+// sender and receiver liveness timers: the base delay doubles per
+// consecutive silent try, capped at 8x, so a dead peer costs
+// geometrically fewer probe frames while a lossy-but-alive one (whose
+// progress resets tries) keeps the fast cadence.
+func retryBackoff(base sim.Duration, tries int) sim.Duration {
+	shift := tries
+	if shift > 3 {
+		shift = 3
+	}
+	return base << uint(shift)
+}
+
 // armSendRetransmit (re)arms the control-message fallback timer.
 func (ep *Endpoint) armSendRetransmit(ss *sendState, resend func()) {
 	if ss.rtxTimer != nil {
 		ss.rtxTimer.Cancel()
 	}
-	ss.rtxTimer = ep.node.Eng.After(ep.cfg.RetransmitTimeout, func() {
+	ss.rtxTimer = ep.node.Eng.After(retryBackoff(ep.cfg.RetransmitTimeout, ss.tries), func() {
 		if ss.acked || ss.req.done.Done() {
+			return
+		}
+		if quiet := ep.node.Eng.Now() - ss.quietSince; quiet >= ep.cfg.PeerDeadTimeout {
+			ep.abortSend(ss, fmt.Errorf("%w: silent for %v", ErrPeerDead, quiet))
 			return
 		}
 		ss.tries++
@@ -150,14 +170,18 @@ func (ep *Endpoint) armSendRetransmit(ss *sendState, resend func()) {
 }
 
 // armSendInactivity (re)arms the liveness bound on an in-progress large
-// send: if no pull traffic arrives for maxRetries consecutive timeout
-// periods, the peer is gone and the request aborts.
+// send: if no pull traffic arrives for PeerDeadTimeout (or maxRetries
+// consecutive timeout periods), the peer is gone and the request aborts.
 func (ep *Endpoint) armSendInactivity(ss *sendState) {
 	if ss.rtxTimer != nil {
 		ss.rtxTimer.Cancel()
 	}
-	ss.rtxTimer = ep.node.Eng.After(ep.cfg.RetransmitTimeout, func() {
+	ss.rtxTimer = ep.node.Eng.After(retryBackoff(ep.cfg.RetransmitTimeout, ss.tries), func() {
 		if ss.req.done.Done() {
+			return
+		}
+		if quiet := ep.node.Eng.Now() - ss.quietSince; quiet >= ep.cfg.PeerDeadTimeout {
+			ep.abortSend(ss, fmt.Errorf("%w: silent for %v", ErrPeerDead, quiet))
 			return
 		}
 		ss.tries++
@@ -195,14 +219,20 @@ func (ep *Endpoint) handleEagerAck(m *eagerAck) {
 func (ep *Endpoint) handlePullReq(m *pullReq) {
 	ss, ok := ep.sends[sendKey{m.src, m.seq}]
 	if !ok {
-		return // message already completed; receiver's notify path handles it
+		// Completed or aborted here. A receiver still pulling (it missed
+		// our abort, or we crashed and restarted) would otherwise
+		// re-request until its own liveness bound: nack it. Duplicate
+		// pull requests racing the final notify are harmless — the
+		// receiver ignores aborts for completed messages.
+		ep.node.send(m.src.Node, 0, &abortMsg{src: ep.addr, dst: m.src, seq: m.seq})
+		return
 	}
 	if ss.req.region == nil {
 		return // declaration still in flight
 	}
 	// First pull request implicitly acknowledges the rendezvous. From then
 	// on an inactivity timer bounds the wait for the notify: pull traffic
-	// re-arms it, total silence for maxRetries periods (a dead or closed
+	// re-arms it, total silence for PeerDeadTimeout (a dead or closed
 	// peer) aborts the send instead of hanging forever.
 	if !ss.acked {
 		ss.acked = true
@@ -212,6 +242,7 @@ func (ep *Endpoint) handlePullReq(m *pullReq) {
 		}
 	}
 	ss.tries = 0
+	ss.quietSince = ep.node.Eng.Now()
 	ep.armSendInactivity(ss)
 	region := ss.req.region
 	maxData := ep.node.maxData()

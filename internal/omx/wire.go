@@ -49,6 +49,12 @@ type eagerFrag struct {
 	data     []byte
 	nfrags   int
 	frag     int
+	// doneBelow is the sender's finished watermark toward dst: every seq
+	// at or below it is delivered or aborted, so the receiver's in-order
+	// admission must not wait for gaps below it (gaps appear when a send
+	// aborts — peer declared dead, crash — without the receiver ever
+	// seeing its envelope).
+	doneBelow uint64
 }
 
 // eagerAck acknowledges complete receipt of an eager message.
@@ -64,6 +70,9 @@ type rndvMsg struct {
 	seq      uint64
 	match    uint64
 	total    int
+	// doneBelow: see eagerFrag. Recomputed on every (re)transmission, so
+	// later aborts propagate with the retries.
+	doneBelow uint64
 }
 
 // pullRange names one requested block of a message.

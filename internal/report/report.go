@@ -44,6 +44,29 @@ type Case struct {
 	Policy  string             `json:"policy,omitempty"`
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 	Notes   []string           `json:"notes,omitempty"`
+	// Chaos is the stress-report time series for chaos-profile runs
+	// (omitted entirely for ordinary scenarios, keeping their JSON
+	// byte-identical to pre-chaos output).
+	Chaos *ChaosSeries `json:"chaos,omitempty"`
+}
+
+// ChaosInterval is one bucket of a chaos stress report: cluster-wide
+// counts of faults injected, recoveries completed, requests aborted, and
+// pin/unpin churn within one interval of simulated time.
+type ChaosInterval struct {
+	Faults     int `json:"faults"`
+	Recoveries int `json:"recoveries"`
+	Aborts     int `json:"aborts"`
+	PinPages   int `json:"pin_pages"`
+	UnpinPages int `json:"unpin_pages"`
+}
+
+// ChaosSeries is the per-interval stress time series written alongside a
+// chaos scenario's metrics (interval i covers
+// [i*interval, (i+1)*interval) of simulated time).
+type ChaosSeries struct {
+	IntervalUS float64         `json:"interval_us"`
+	Intervals  []ChaosInterval `json:"intervals"`
 }
 
 // Result is everything one scenario run produced. It deliberately carries
@@ -163,6 +186,27 @@ func writeOne(w io.Writer, r *Result) error {
 		if err := writeTable(w, t); err != nil {
 			return err
 		}
+	}
+	wroteChaos := false
+	for _, c := range r.Cases {
+		if c.Chaos == nil {
+			continue
+		}
+		if !wroteChaos {
+			fmt.Fprintln(w)
+			wroteChaos = true
+		}
+		var t ChaosInterval
+		for _, iv := range c.Chaos.Intervals {
+			t.Faults += iv.Faults
+			t.Recoveries += iv.Recoveries
+			t.Aborts += iv.Aborts
+			t.PinPages += iv.PinPages
+			t.UnpinPages += iv.UnpinPages
+		}
+		fmt.Fprintf(w, "chaos %s: %d faults, %d recoveries, %d aborts, pin churn +%d/-%d pages over %d x %.0fus intervals\n",
+			c.Label, t.Faults, t.Recoveries, t.Aborts, t.PinPages, t.UnpinPages,
+			len(c.Chaos.Intervals), c.Chaos.IntervalUS)
 	}
 	if len(r.Assertions) > 0 {
 		fmt.Fprintln(w)

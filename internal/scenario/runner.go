@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"omxsim/internal/chaos"
 	"omxsim/internal/cluster"
 	"omxsim/internal/core"
 	"omxsim/internal/experiments"
@@ -61,6 +62,7 @@ func (s *Scenario) Run(opts Options) (*report.Result, error) {
 			Policy:  cr.PolicyName,
 			Metrics: cr.Metrics,
 			Notes:   cr.Notes,
+			Chaos:   cr.chaosSeries,
 		})
 	}
 	// The teardown invariant is checked on every scenario, not just those
@@ -159,6 +161,18 @@ func (s *Scenario) runCell(run *Run, c Case, size int) (*CaseRun, error) {
 	if c.Tweak != nil {
 		c.Tweak(&cfg)
 	}
+	// Chaos recorders and the compiled fault schedule arm first, so the
+	// one-shot injectors below can record into the same stress report.
+	if s.chaosEnabled() {
+		seed := run.Opts.ChaosSeed
+		if seed == 0 {
+			seed = run.Opts.Seed
+		}
+		profile := s.Chaos
+		cfg.OnBuild = append(cfg.OnBuild, func(cl *cluster.Cluster) {
+			armChaos(cl, cr, profile, seed)
+		})
+	}
 	// Fault events arm through the cluster's OnBuild hook, composing with
 	// any hooks the scenario or case tweak installed.
 	cfg.OnBuild = append(cfg.OnBuild, func(cl *cluster.Cluster) {
@@ -179,6 +193,7 @@ func (s *Scenario) runCell(run *Run, c Case, size int) (*CaseRun, error) {
 		cr.Completed = true
 	}
 	collectStats(cr)
+	collectChaos(cr)
 	// Tear the endpoints down: the policy contract says no backend may
 	// leave pages pinned once its endpoints are gone. A leak here fails
 	// the run through the implicit noTeardownLeak assertion.
@@ -202,12 +217,131 @@ func noTeardownLeak() Assertion {
 	})
 }
 
+// chaosEnabled reports whether the cell needs chaos recorders: a chaos
+// profile, or any node-class one-shot fault.
+func (s *Scenario) chaosEnabled() bool {
+	if s.Chaos != nil {
+		return true
+	}
+	for _, f := range s.Faults {
+		switch f.Kind {
+		case FaultCrash, FaultLinkDegrade, FaultPartition, FaultBudgetShrink:
+			return true
+		}
+	}
+	return false
+}
+
+// armChaos sets up the cell's chaos machinery at cluster-build time: one
+// stress recorder per node, the abort and pin-churn hooks feeding them,
+// and — when a profile is present — the compiled fault schedule. Every
+// planned event arms as a foreground event on its target node's own
+// engine, so chaos injection stays shard-local and the schedule is
+// identical whatever the shard count.
+func armChaos(cl *cluster.Cluster, cr *CaseRun, p *chaos.Profile, seed int64) {
+	recs := make([]*chaos.Recorder, len(cl.Nodes))
+	for i := range recs {
+		recs[i] = chaos.NewRecorder(p.BucketInterval())
+	}
+	cr.chaosRecs = recs
+	for _, n := range cl.Nodes {
+		n := n
+		rec := recs[n.ID]
+		n.SetAbortHook(func(omx.ReqKind, error) { rec.Abort(n.Eng.Now()) })
+	}
+	for _, proc := range cl.Processes() {
+		n := proc.Node()
+		rec := recs[n.ID]
+		proc.Manager().OnPinChurn = func(pages int, pinned bool) {
+			rec.PinChurn(n.Eng.Now(), pages, pinned)
+		}
+	}
+	for _, ev := range p.Plan(seed, len(cl.Nodes)) {
+		ev := ev
+		n := cl.Nodes[ev.Node]
+		n.Eng.After(sim.Duration(ev.At), func() {
+			chaos.Apply(n, ev, recs[ev.Node])
+		})
+	}
+}
+
+// collectChaos folds the per-node stress recorders into chaos metrics and
+// the report's per-interval time series. Recorders merge in node order,
+// so the series is deterministic across shard counts.
+func collectChaos(cr *CaseRun) {
+	if cr.chaosRecs == nil {
+		return
+	}
+	merged := chaos.Merge(cr.chaosRecs)
+	t := chaos.Totals(merged)
+	cr.Metric("stats.chaos_faults", float64(t.Faults))
+	cr.Metric("stats.chaos_recoveries", float64(t.Recoveries))
+	cr.Metric("stats.chaos_aborts", float64(t.Aborts))
+	inflight := 0
+	for _, n := range cr.Cluster.Nodes {
+		inflight += n.InFlightRequests()
+	}
+	cr.Metric("stats.requests_inflight_end", float64(inflight))
+	series := &report.ChaosSeries{
+		IntervalUS: float64(cr.chaosRecs[0].Interval()) / float64(sim.Microsecond),
+	}
+	for _, b := range merged {
+		series.Intervals = append(series.Intervals, report.ChaosInterval{
+			Faults:     b.Faults,
+			Recoveries: b.Recoveries,
+			Aborts:     b.Aborts,
+			PinPages:   b.PinPages,
+			UnpinPages: b.UnpinPages,
+		})
+	}
+	cr.chaosSeries = series
+}
+
+// scheduleNodeFault arms a one-shot node-class fault. Like the planned
+// chaos schedule, the event fires on the target node's own shard engine
+// and records into that node's stress recorder.
+func scheduleNodeFault(cl *cluster.Cluster, cr *CaseRun, f Fault) {
+	if f.Node < 0 || f.Node >= len(cl.Nodes) {
+		cl.Eng.After(f.At, func() {
+			cr.Note("t=%v: %v fault: no node %d", cl.Eng.Now(), f.Kind, f.Node)
+		})
+		return
+	}
+	ev := chaos.Event{
+		Node:            f.Node,
+		Duration:        f.For,
+		Frames:          f.Frames,
+		ExtraLatency:    f.Degrade.ExtraLatency,
+		BandwidthFactor: f.Degrade.BandwidthFactor,
+		DropProb:        f.Degrade.DropProb,
+	}
+	switch f.Kind {
+	case FaultCrash:
+		ev.Class = chaos.NodeCrash
+	case FaultLinkDegrade:
+		ev.Class = chaos.LinkDegrade
+	case FaultPartition:
+		ev.Class = chaos.Partition
+	case FaultBudgetShrink:
+		ev.Class = chaos.BudgetShrink
+	}
+	n := cl.Nodes[f.Node]
+	n.Eng.After(f.At, func() {
+		chaos.Apply(n, ev, cr.chaosRecs[f.Node])
+	})
+}
+
 // scheduleFault arms one fault event. Every injector runs on the engine
 // that owns its target node, so fault work stays shard-local in sharded
 // runs: the flood arms per-node bottom-half generators on each node's own
 // engine, and rank-targeted faults fire where the rank's address space
 // lives.
 func scheduleFault(cl *cluster.Cluster, cr *CaseRun, f Fault, budget sim.Duration) {
+	switch f.Kind {
+	case FaultCrash, FaultLinkDegrade, FaultPartition, FaultBudgetShrink:
+		scheduleNodeFault(cl, cr, f)
+		return
+	}
 	if f.Kind == FaultFlood {
 		window := f.For
 		if window == 0 && budget == 0 {
@@ -299,6 +433,9 @@ func collectStats(cr *CaseRun) {
 	set("stats.overlap_misses", float64(st.OverlapMissSender+st.OverlapMissReceiver))
 	set("stats.rereqs", float64(st.ReRequests))
 	set("stats.retransmits", float64(st.Retransmits))
+	set("stats.req_aborts", float64(st.ReqAborts))
+	set("stats.crashes", float64(st.Crashes))
+	set("stats.restarts", float64(st.Restarts))
 
 	// Reclaim counters are per node (one PhysMem per host), swap-in
 	// counts per process address space.

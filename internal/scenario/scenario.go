@@ -12,7 +12,9 @@ import (
 	"fmt"
 	"sync"
 
+	"omxsim/internal/chaos"
 	"omxsim/internal/cluster"
+	"omxsim/internal/ethernet"
 	"omxsim/internal/mpi"
 	"omxsim/internal/omx"
 	"omxsim/internal/report"
@@ -35,6 +37,10 @@ type Options struct {
 	// single-engine path). Custom scenarios build their own clusters and
 	// ignore it.
 	Shards int
+	// ChaosSeed reseeds the chaos plan independently of the simulation
+	// seed (0 = derive from Seed), so the same workload can face
+	// different fault schedules.
+	ChaosSeed int64
 }
 
 // Case is one cell of a scenario's pin-policy matrix.
@@ -76,6 +82,19 @@ const (
 	// now wrong — so the driver unpins, while the mapping (and any cached
 	// declaration over it) stays intact. The next use repins.
 	FaultMProtect
+	// FaultCrash takes Node dark for the For window (NIC down, pins
+	// released, in-flight requests abort with omx.ErrPeerDead), then
+	// restarts it.
+	FaultCrash
+	// FaultLinkDegrade applies the Degrade knobs to Node's NIC for the
+	// For window.
+	FaultLinkDegrade
+	// FaultPartition drops every frame to and from Node for the For
+	// window without crashing it.
+	FaultPartition
+	// FaultBudgetShrink lowers Node's physical-frame budget to Frames
+	// for the For window.
+	FaultBudgetShrink
 )
 
 // String names the fault kind for notes and tables.
@@ -91,6 +110,14 @@ func (k FaultKind) String() string {
 		return "flood"
 	case FaultMProtect:
 		return "mprotect"
+	case FaultCrash:
+		return "crash"
+	case FaultLinkDegrade:
+		return "link-degrade"
+	case FaultPartition:
+		return "partition"
+	case FaultBudgetShrink:
+		return "budget-shrink"
 	default:
 		return fmt.Sprintf("fault(%d)", int(k))
 	}
@@ -111,8 +138,16 @@ type Fault struct {
 	// Util is the bottom-half utilization for Flood (0..1).
 	Util float64
 	// For bounds a flood window; 0 floods until the run ends (or the
-	// runner's hard cap when the scenario has no budget).
+	// runner's hard cap when the scenario has no budget). For the
+	// node-class faults it is the outage/degradation window before the
+	// matching restore fires.
 	For sim.Duration
+	// Node is the target host for Crash/LinkDegrade/Partition/BudgetShrink.
+	Node int
+	// Degrade carries the LinkDegrade knobs.
+	Degrade ethernet.Degrade
+	// Frames is the BudgetShrink target frame budget.
+	Frames int
 }
 
 // Workload runs on every rank of the cluster; it records metrics and
@@ -140,6 +175,11 @@ type Scenario struct {
 	Workload Workload
 	// Faults are injected into every case's run.
 	Faults []Fault
+	// Chaos, when set, compiles into a seeded fault schedule per cell
+	// (the deterministic chaos engine): node crashes, link degradation,
+	// partitions, budget shrinks, drawn from the profile's arrival
+	// distributions and armed on each target node's own shard engine.
+	Chaos *chaos.Profile
 	// Budget stops the simulation after this much simulated time even if
 	// ranks are still blocked (saturation scenarios); 0 runs to
 	// completion.
@@ -203,6 +243,12 @@ type CaseRun struct {
 	// anything.)
 	mu      sync.Mutex
 	buffers map[string]bufRef
+
+	// chaosRecs holds one recorder per node while a chaos-profile cell
+	// runs (each touched only by its node's engine); chaosSeries is the
+	// merged stress report collected after the run.
+	chaosRecs   []*chaos.Recorder
+	chaosSeries *report.ChaosSeries
 }
 
 type bufRef struct {
@@ -215,6 +261,17 @@ func (cr *CaseRun) Metric(name string, v float64) {
 	cr.mu.Lock()
 	defer cr.mu.Unlock()
 	cr.Metrics[name] = v
+}
+
+// AddMetric accumulates delta into a measurement. Unlike Metric it is
+// safe for every rank to call: integral deltas sum exactly in any order,
+// so the total stays deterministic even when ranks run on different
+// shards (the chaos workloads count per-rank operation outcomes this
+// way).
+func (cr *CaseRun) AddMetric(name string, delta float64) {
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	cr.Metrics[name] += delta
 }
 
 // Param reads a case parameter ("" when absent).

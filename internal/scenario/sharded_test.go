@@ -53,6 +53,12 @@ func TestShardCountInvariance(t *testing.T) {
 		// fleet-stream is the 8-node parallel workload: sweep the shard
 		// counts the benchmark uses.
 		{scenario: "fleet-stream", shards: []int{1, 2, 4, 8}, opts: Options{Quick: true}},
+		// The chaos family must stay invariant too: the fault schedule is
+		// precomputed per cell, so crashes, degrade windows, and budget
+		// shrinks land at the same simulated instants on every layout.
+		{scenario: "chaos-crash-recover", shards: []int{1, 2, 4}},
+		{scenario: "chaos-degraded-link", shards: []int{1, 4}},
+		{scenario: "chaos-budget-shrink", shards: []int{1, 2}},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -83,6 +89,21 @@ func TestShardGomaxprocsInvariance(t *testing.T) {
 	got := resultBytes(t, "fleet-stream", opts)
 	if !bytes.Equal(ref, got) {
 		t.Fatalf("fleet-stream shards=4: GOMAXPROCS=1 result differs from GOMAXPROCS=%d", prev)
+	}
+}
+
+// TestChaosGomaxprocsInvariance re-runs a chaos scenario — concurrent
+// shard goroutines plus injected crashes — with GOMAXPROCS pinned to 1:
+// the stress report, per-interval chaos series included, must be
+// byte-identical to the unrestricted run.
+func TestChaosGomaxprocsInvariance(t *testing.T) {
+	opts := Options{Shards: 4}
+	ref := resultBytes(t, "chaos-crash-recover", opts)
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	got := resultBytes(t, "chaos-crash-recover", opts)
+	if !bytes.Equal(ref, got) {
+		t.Fatalf("chaos-crash-recover shards=4: GOMAXPROCS=1 result differs from GOMAXPROCS=%d", prev)
 	}
 }
 

@@ -239,6 +239,23 @@ func (pm *PhysMem) SetCapacity(frames int) {
 	pm.capacity = frames
 }
 
+// Resize changes a bounded allocator's frame budget at runtime — a
+// hotplug/ballooning event. Unlike SetCapacity it is legal with live
+// frames: shrinking below the current population leaves FreeFrames
+// negative, which reads as a breached low watermark (kswapd reclaims
+// toward the new budget) while new allocations take the direct-reclaim
+// path or fail. Callers should re-derive watermarks afterwards; panics on
+// an unbounded allocator or a non-positive budget.
+func (pm *PhysMem) Resize(frames int) {
+	if frames <= 0 {
+		panic("vm: Resize to non-positive capacity")
+	}
+	if pm.capacity <= 0 {
+		panic("vm: Resize on unbounded physical memory")
+	}
+	pm.capacity = frames
+}
+
 func (pm *PhysMem) alloc() (*Frame, error) {
 	if pm.capacity > 0 && pm.inUse >= pm.capacity {
 		return nil, ErrNoMemory
