@@ -10,12 +10,14 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
 	"omxsim/internal/cluster"
 	"omxsim/internal/core"
 	"omxsim/internal/ethernet"
 	"omxsim/internal/imb"
+	"omxsim/internal/kv"
 	"omxsim/internal/mpi"
 	"omxsim/internal/omx"
 	"omxsim/internal/sim"
@@ -168,6 +170,60 @@ func SimWallClockParallelCell(shards int) (mbps, simMicros float64, events uint6
 	return mbps, cl.Now().Micros(), cl.EventsFired()
 }
 
+// benchSink collects kv rank stats without pulling in the scenario layer.
+type benchSink struct {
+	mu    sync.Mutex
+	stash map[string]any
+}
+
+func (s *benchSink) Stash(key string, v any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stash == nil {
+		s.stash = make(map[string]any)
+	}
+	s.stash[key] = v
+}
+
+func (s *benchSink) Note(string, ...any) {}
+
+// KVServeCell runs a scaled-down kvserve cell once — one storage server,
+// three open-loop Zipfian clients, pinning-cache backend — and returns
+// the cluster-wide GET latency percentiles in simulated µs plus the
+// events dispatched. The percentiles are simulated quantities, so they
+// are deterministic: the guard can hold them to a tight band, turning
+// tail-latency regressions on the serving path into bench failures.
+func KVServeCell() (p50, p99, p999 float64, events uint64) {
+	cl, err := cluster.New(cluster.Config{
+		Nodes:        2,
+		RanksPerNode: 2,
+		OMX:          omx.DefaultConfig(core.Overlapped, true),
+	})
+	if err != nil {
+		panic(err)
+	}
+	cfg := kv.Config{
+		Servers:    1,
+		Keys:       32,
+		ValueBytes: 64 << 10,
+		Theta:      0.9,
+		Workers:    4,
+		Tenants: []kv.Tenant{
+			{Name: "bench", Ops: 60, Rate: 6000, GetFrac: 0.7, MaxInflight: 16},
+		},
+	}
+	sink := &benchSink{}
+	cl.Run(func(c *mpi.Comm) {
+		kv.Run(c, sink, 1, cfg)
+	})
+	m := kv.Collect(cfg, 4, func(r int) *kv.Stats {
+		st, _ := sink.stash[kv.StashKey(r)].(*kv.Stats)
+		return st
+	})
+	return m.Get.QuantileUS(0.50), m.Get.QuantileUS(0.99), m.Get.QuantileUS(0.999),
+		cl.EventsFired()
+}
+
 // EngineAfter0Cell performs n zero-delay schedule+fire round trips on a
 // fresh engine (the fast-path microbenchmark body).
 func EngineAfter0Cell(n int) {
@@ -219,6 +275,21 @@ func simWallClockParallel(shards int, metrics map[string]float64) {
 	if simMicros > 0 {
 		metrics["ns/sim-us"] = float64(wall.Nanoseconds()) / simMicros
 	}
+	if s := wall.Seconds(); s > 0 {
+		metrics["events/sec"] = float64(events) / s
+	}
+}
+
+// kvServeTail adapts KVServeCell to the suite's metric map. The *_us
+// metrics are simulated time — identical every run — while ns_per_op and
+// events/sec track how fast the host executes the cell.
+func kvServeTail(metrics map[string]float64) {
+	start := time.Now()
+	p50, p99, p999, events := KVServeCell()
+	wall := time.Since(start)
+	metrics["p50_us"] = p50
+	metrics["p99_us"] = p99
+	metrics["p999_us"] = p999
 	if s := wall.Seconds(); s > 0 {
 		metrics["events/sec"] = float64(events) / s
 	}
@@ -288,6 +359,7 @@ func Run(pr int, quick bool) Report {
 		measure("EngineAfter0", 1, minWall/4, engineAfter0),
 		measure("EngineTimerWheel", 1, minWall/4, engineTimerWheel),
 		measure("Figure7Regular1MB", minIters, minWall/2, figure7Regular),
+		measure("KVServeTail", minIters, minWall/2, kvServeTail),
 	}
 	rep := Report{
 		PR:         pr,
@@ -366,6 +438,20 @@ func Guard(cur, prior Report, slack float64) error {
 	if _, ok := find(prior, "SimWallClockParallel"); ok {
 		if err := gate("SimWallClockParallel"); err != nil {
 			return err
+		}
+	}
+	// KVServeTail's p99_us is simulated time, not wall clock: it is exactly
+	// reproducible, so any growth at all is a real serving-path tail
+	// regression, not machine noise. A hair of slack (5%) still absorbs
+	// intentional protocol retunes that legitimately shift one bucket.
+	if p, ok := find(prior, "KVServeTail"); ok && p.Metrics["p99_us"] > 0 {
+		c, ok := find(cur, "KVServeTail")
+		if !ok {
+			return fmt.Errorf("bench guard: current run has no KVServeTail measurement")
+		}
+		if got, base := c.Metrics["p99_us"], p.Metrics["p99_us"]; got > base*1.05 {
+			return fmt.Errorf("bench guard: KVServeTail p99 %.1fus is %.2fx the %.1fus baseline (simulated, allowed 1.05x)",
+				got, got/base, base)
 		}
 	}
 	return nil

@@ -34,6 +34,39 @@ func TestGuardRejectsUnusableBaseline(t *testing.T) {
 	}
 }
 
+func reportWithKV(ns, p99 float64) Report {
+	r := reportWith(ns)
+	r.Benchmarks = append(r.Benchmarks, Result{
+		Name:    "KVServeTail",
+		NsPerOp: ns,
+		Metrics: map[string]float64{"p99_us": p99},
+	})
+	return r
+}
+
+func TestGuardKVServeTail(t *testing.T) {
+	// Identical simulated p99: passes.
+	if err := Guard(reportWithKV(20e6, 800), reportWithKV(18e6, 800), 1.75); err != nil {
+		t.Fatalf("guard tripped on identical simulated tail: %v", err)
+	}
+	// >5% simulated-tail growth: trips even though wall clock is fine.
+	err := Guard(reportWithKV(20e6, 900), reportWithKV(18e6, 800), 1.75)
+	if err == nil {
+		t.Fatal("12% simulated p99 regression passed the guard")
+	}
+	if !strings.Contains(err.Error(), "KVServeTail") {
+		t.Fatalf("unhelpful guard error: %v", err)
+	}
+	// Baseline without the cell (pre-kvserve artifacts): not gated.
+	if err := Guard(reportWithKV(20e6, 900), reportWith(18e6), 1.75); err != nil {
+		t.Fatalf("pre-kvserve baseline should not gate the tail: %v", err)
+	}
+	// Baseline has the cell, current run lost it: that is an error.
+	if err := Guard(reportWith(20e6), reportWithKV(18e6, 800), 1.75); err == nil {
+		t.Fatal("dropped KVServeTail measurement passed the guard")
+	}
+}
+
 func TestGuardAgainstCheckedInArtifact(t *testing.T) {
 	prior, err := LoadReport("../../BENCH_PR2.json")
 	if err != nil {

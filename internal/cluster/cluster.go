@@ -299,6 +299,16 @@ func (cl *Cluster) EventsFired() uint64 {
 	return cl.Eng.EventsFired()
 }
 
+// ForegroundEventsFired sums dispatched non-daemon events across all
+// shards. Daemon tick counts depend on where the final shard window lands,
+// so reports that must be byte-identical across shard layouts use this.
+func (cl *Cluster) ForegroundEventsFired() uint64 {
+	if cl.Set != nil {
+		return cl.Set.ForegroundEventsFired()
+	}
+	return cl.Eng.ForegroundEventsFired()
+}
+
 // Stats aggregates node driver stats across the cluster.
 func (cl *Cluster) Stats() omx.NodeStats {
 	var total omx.NodeStats

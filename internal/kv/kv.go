@@ -1,0 +1,585 @@
+package kv
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"omxsim/internal/mpi"
+	"omxsim/internal/omx"
+	"omxsim/internal/report"
+	"omxsim/internal/sim"
+	"omxsim/internal/vm"
+)
+
+// Wire protocol. kv traffic runs on its own match context (the mpi layer
+// owns contexts 1 and 2), with the message type in the tag's top bits and
+// a per-client operation sequence below, so data phases of concurrent
+// operations never cross-match:
+//
+//	match = | 16 bits ctxKV | 16 bits src rank | 3 bits type | 29 bits seq |
+//
+// An operation is a small eager header (request), a bulk value transfer
+// sized past the rendezvous threshold so it crosses the pinning path, and
+// for puts a small eager ack. Gets complete at value arrival, puts at the
+// ack — the RDMA-read / RDMA-write shapes of an in-memory KV tier.
+const (
+	ctxKV    = 3
+	srcShift = 32
+	ctxShift = 48
+
+	tagReq   = 1 << 29
+	tagData  = 2 << 29
+	tagReply = 3 << 29
+	seqMask  = 1<<29 - 1
+
+	headerBytes = 32
+	ackBytes    = 16
+)
+
+func kvMatch(src int, tag uint32) uint64 {
+	return uint64(ctxKV)<<ctxShift | uint64(uint16(src))<<srcShift | uint64(tag)
+}
+
+// anySrcMask matches any source rank (the server's header receive).
+func anySrcMask() uint64 { return ^uint64(0) &^ (uint64(0xffff) << srcShift) }
+
+type opKind uint8
+
+const (
+	opGet opKind = iota + 1
+	opPut
+	opShut
+)
+
+// Tenant describes one traffic class. Clients are assigned round-robin:
+// client j (the j'th non-server rank) serves tenant j % len(Tenants).
+type Tenant struct {
+	// Name labels the tenant in metrics and SLO blocks.
+	Name string
+	// Ops is how many operations each of the tenant's clients issues.
+	Ops int
+	// Rate is the open-loop arrival rate per client, in operations per
+	// second of simulated time. Arrivals are drawn from a seeded
+	// exponential stream and do NOT wait for completions — when the
+	// backend falls behind, queueing delay (and admission rejection) is
+	// real.
+	Rate float64
+	// GetFrac is the read fraction of the mix (0.7 = 70% gets).
+	GetFrac float64
+	// MaxInflight bounds accepted-but-incomplete operations per client —
+	// the admission-control knob. Arrivals past the bound are rejected
+	// with a typed *omx.OverloadError instead of queueing without limit.
+	MaxInflight int
+}
+
+// Config shapes one kvserve run. Ranks 0..Servers-1 are storage servers;
+// every remaining rank is a client.
+type Config struct {
+	// Servers is the storage-server rank count.
+	Servers int
+	// Keys is the per-tenant key-space size. Key k lives on server
+	// k % Servers, at slot k / Servers of that server's per-tenant heap.
+	Keys int
+	// ValueBytes is the value size. Sizes past the eager threshold
+	// (32 KiB by default) take the rendezvous path, so value buffers are
+	// pinned — or ODP-faulted — under the configured policy.
+	ValueBytes int
+	// Theta is the Zipfian key-popularity skew.
+	Theta float64
+	// Workers is the data-phase worker-process count per endpoint, client
+	// and server alike.
+	Workers int
+	// Tenants is the traffic-class list (at least one).
+	Tenants []Tenant
+	// ChurnBytes, when positive, runs a memory hog on every server rank:
+	// a background process dirtying this much buffer every ChurnPeriod,
+	// overcommitting the node's frame budget so reclaim pressure on the
+	// value heaps is emergent (the PR 5 machinery).
+	ChurnBytes int
+	// ChurnPeriod is the hog's sweep period (default 200µs).
+	ChurnPeriod sim.Duration
+}
+
+func (cfg Config) workers() int {
+	if cfg.Workers <= 0 {
+		return 1
+	}
+	return cfg.Workers
+}
+
+func (cfg Config) churnPeriod() sim.Duration {
+	if cfg.ChurnPeriod <= 0 {
+		return 200 * sim.Microsecond
+	}
+	return cfg.ChurnPeriod
+}
+
+// slots is the per-tenant heap size in values on every server (uniform,
+// ceil(Keys/Servers), so heap layout does not depend on the server index).
+func (cfg Config) slots() int { return (cfg.Keys + cfg.Servers - 1) / cfg.Servers }
+
+// Stats is one rank's measurement record, stashed on the case cell at the
+// end of the run and merged (in rank order, so deterministically) by
+// Collect. Latencies are measured from the operation's scheduled open-loop
+// arrival, not from dispatch — the coordinated-omission correction — in
+// simulated nanoseconds.
+type Stats struct {
+	Rank   int
+	Tenant int // -1 for servers
+	Get    report.Hist
+	Put    report.Hist
+	// Issued counts arrivals, OK completions, Rejected admission drops,
+	// Errors protocol aborts, BadVals GET payloads failing validation.
+	Issued   int
+	OK       int
+	Rejected int
+	Errors   int
+	BadVals  int
+}
+
+// Sink is the slice of scenario.CaseRun the workload needs; keeping it an
+// interface avoids an import cycle (scenario imports kv).
+type Sink interface {
+	Stash(key string, v any)
+	Note(format string, args ...any)
+}
+
+// StashKey names rank r's Stats record in the case stash.
+func StashKey(r int) string { return fmt.Sprintf("kv/rank%d", r) }
+
+// mix derives a per-(rank, stream) RNG seed from the run seed.
+func mix(seed int64, rank, salt int) int64 {
+	return seed ^ int64((uint64(rank)+1)*(uint64(salt)+3)*0x9e3779b97f4a7c15)
+}
+
+// sig returns the 8-byte value signature for (tenant, key): written at
+// the head of every stored value, checked on every GET.
+func sig(tenant, key int) uint64 {
+	return uint64(tenant+1)<<40 ^ uint64(key+1)*0x9e3779b97f4a7c15
+}
+
+// op is one client operation in flight between dispatcher and workers.
+type op struct {
+	kind        opKind
+	tenant      int
+	key         int
+	seq         uint32
+	scheduledAt sim.Time
+}
+
+// Run is the per-rank workload body: servers allocate and prefill their
+// value heaps, everyone meets at a barrier, clients drive open-loop
+// traffic until their schedules drain, then shut the servers down. It is
+// shaped as a scenario.Workload body (wrap it in a closure carrying the
+// Config).
+func Run(c *mpi.Comm, sink Sink, seed int64, cfg Config) {
+	if cfg.Servers <= 0 || cfg.Servers >= c.Size() {
+		panic(fmt.Sprintf("kv: need 1 <= Servers < ranks, got Servers=%d ranks=%d", cfg.Servers, c.Size()))
+	}
+	if len(cfg.Tenants) == 0 {
+		panic("kv: need at least one tenant")
+	}
+	if c.Rank() < cfg.Servers {
+		runServer(c, sink, cfg)
+	} else {
+		runClient(c, sink, seed, cfg)
+	}
+}
+
+func mustMalloc(ep *omx.Endpoint, n int) vm.Addr {
+	a, err := ep.Malloc(n)
+	if err != nil {
+		panic(fmt.Sprintf("kv: malloc(%d): %v", n, err))
+	}
+	return a
+}
+
+func writeHeader(ep *omx.Endpoint, a vm.Addr, kind opKind, tenant, key int, seq uint32) {
+	var b [headerBytes]byte
+	b[0] = byte(kind)
+	b[1] = byte(tenant)
+	binary.LittleEndian.PutUint32(b[4:], uint32(key))
+	binary.LittleEndian.PutUint32(b[8:], seq)
+	if err := ep.AS.Write(a, b[:]); err != nil {
+		panic(fmt.Sprintf("kv: header write: %v", err))
+	}
+}
+
+// serverOp is a parsed request handed from the server's header dispatcher
+// to its data-phase workers.
+type serverOp struct {
+	kind   opKind
+	tenant int
+	key    int
+	seq    uint32
+	src    int
+}
+
+func runServer(c *mpi.Comm, sink Sink, cfg Config) {
+	rank := c.Rank()
+	ep := c.Endpoint()
+	eng := ep.Node().Eng
+	st := &Stats{Rank: rank, Tenant: -1}
+	slots := cfg.slots()
+
+	// Value heaps: one contiguous per-tenant arena, prefilled with
+	// signed values so the first GET of any key validates. The prefill
+	// writes touch every frame, so the heaps are resident (and, under a
+	// frame budget, already contended) before the serving clock starts.
+	heaps := make([]vm.Addr, len(cfg.Tenants))
+	val := make([]byte, cfg.ValueBytes)
+	for i := range val {
+		val[i] = byte(i>>8) ^ byte(i)
+	}
+	for t := range cfg.Tenants {
+		heaps[t] = mustMalloc(ep, slots*cfg.ValueBytes)
+		for k := rank; k < cfg.Keys; k += cfg.Servers {
+			binary.LittleEndian.PutUint64(val[:8], sig(t, k))
+			a := heaps[t] + vm.Addr(k/cfg.Servers*cfg.ValueBytes)
+			if err := ep.AS.Write(a, val); err != nil {
+				panic(fmt.Sprintf("kv: server %d prefill: %v", rank, err))
+			}
+		}
+	}
+
+	// Data-phase workers: GETs send the slot out, PUTs receive into it
+	// in place and ack. The value segments are heap addresses, so every
+	// transfer drives the registration cache and pinning policy on the
+	// serving side.
+	var q sim.Queue[serverOp]
+	workers := cfg.workers()
+	done := make([]*sim.Completion, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		done[w] = &sim.Completion{}
+		eng.Go(fmt.Sprintf("kv-srv%d-w%d", rank, w), func(p *sim.Proc) {
+			defer done[w].Complete(eng, nil)
+			ack := mustMalloc(ep, ackBytes)
+			for {
+				so := q.Pop(p)
+				if so.kind == opShut {
+					return
+				}
+				slot := []omx.Segment{{
+					Addr: heaps[so.tenant] + vm.Addr(so.key/cfg.Servers*cfg.ValueBytes),
+					Len:  cfg.ValueBytes,
+				}}
+				switch so.kind {
+				case opGet:
+					r := ep.IsendVHint(slot, kvMatch(rank, tagData|so.seq), c.PeerAddr(so.src), true)
+					if err := ep.Wait(p, r); err != nil {
+						st.Errors++
+					}
+				case opPut:
+					r := ep.IrecvVHint(slot, kvMatch(so.src, tagData|so.seq), ^uint64(0), true)
+					if err := ep.Wait(p, r); err != nil {
+						st.Errors++
+						continue
+					}
+					a := ep.IsendVHint([]omx.Segment{{Addr: ack, Len: ackBytes}},
+						kvMatch(rank, tagReply|so.seq), c.PeerAddr(so.src), true)
+					if err := ep.Wait(p, a); err != nil {
+						st.Errors++
+					}
+				}
+			}
+		})
+	}
+
+	// Memory hog: emergent pressure against the node's frame budget,
+	// sweeping a churn arena while the serving loop runs (the PR 5
+	// reclaim machinery steals cold heap pages — unless they're pinned).
+	hogStop := false
+	var hogDone *sim.Completion
+	if cfg.ChurnBytes > 0 {
+		hogDone = &sim.Completion{}
+		churn := mustMalloc(ep, cfg.ChurnBytes)
+		eng.Go(fmt.Sprintf("kv-srv%d-hog", rank), func(p *sim.Proc) {
+			defer hogDone.Complete(eng, nil)
+			dirt := make([]byte, vm.PageSize)
+			for i := range dirt {
+				dirt[i] = byte(i + 1)
+			}
+			for !hogStop {
+				for off := 0; off < cfg.ChurnBytes && !hogStop; off += vm.PageSize {
+					if err := ep.AS.Write(churn+vm.Addr(off), dirt); err != nil {
+						panic(fmt.Sprintf("kv: server %d churn: %v", rank, err))
+					}
+				}
+				p.Sleep(cfg.churnPeriod())
+			}
+		})
+	}
+
+	c.Barrier()
+
+	// Header dispatcher: one small receive at a time from any client;
+	// bursts queue in the endpoint's unexpected queue in deterministic
+	// arrival order. Each client announces completion with one shutdown
+	// header; the loop ends when all have.
+	hdr := mustMalloc(ep, headerBytes)
+	clients := c.Size() - cfg.Servers
+	for shut := 0; shut < clients; {
+		r := ep.IrecvVHint([]omx.Segment{{Addr: hdr, Len: headerBytes}},
+			kvMatch(0, tagReq), anySrcMask(), true)
+		if err := ep.Wait(c.Proc(), r); err != nil {
+			st.Errors++
+			continue
+		}
+		b := make([]byte, headerBytes)
+		if err := ep.AS.Read(hdr, b); err != nil {
+			panic(fmt.Sprintf("kv: server %d header read: %v", rank, err))
+		}
+		so := serverOp{
+			kind:   opKind(b[0]),
+			tenant: int(b[1]),
+			key:    int(binary.LittleEndian.Uint32(b[4:])),
+			seq:    binary.LittleEndian.Uint32(b[8:]) & seqMask,
+			src:    int(uint16(r.RecvMatch >> srcShift)),
+		}
+		if so.kind == opShut {
+			shut++
+			continue
+		}
+		q.Push(eng, so)
+	}
+	for w := 0; w < workers; w++ {
+		q.Push(eng, serverOp{kind: opShut})
+	}
+	for _, d := range done {
+		d.Wait(c.Proc())
+	}
+	hogStop = true
+	if hogDone != nil {
+		hogDone.Wait(c.Proc())
+	}
+	sink.Stash(StashKey(rank), st)
+}
+
+func runClient(c *mpi.Comm, sink Sink, seed int64, cfg Config) {
+	rank := c.Rank()
+	ep := c.Endpoint()
+	eng := ep.Node().Eng
+	tenant := (rank - cfg.Servers) % len(cfg.Tenants)
+	spec := cfg.Tenants[tenant]
+	st := &Stats{Rank: rank, Tenant: tenant}
+
+	// Seeded per-client streams: key popularity, arrival process, and
+	// read/write mix draw independently so changing one never perturbs
+	// the others.
+	keys := NewZipf(mix(seed, rank, 1), cfg.Keys, cfg.Theta)
+	arrivals := rand.New(rand.NewSource(mix(seed, rank, 2)))
+	rw := rand.New(rand.NewSource(mix(seed, rank, 3)))
+
+	// inflight counts accepted-but-incomplete operations — the admission
+	// bound. Dispatcher and workers mutate it from the same engine's
+	// strictly interleaved processes, so no lock is needed and the
+	// trajectory is deterministic.
+	inflight := 0
+	var q sim.Queue[op]
+	workers := cfg.workers()
+	done := make([]*sim.Completion, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		done[w] = &sim.Completion{}
+		eng.Go(fmt.Sprintf("kv-cli%d-w%d", rank, w), func(p *sim.Proc) {
+			defer done[w].Complete(eng, nil)
+			val := mustMalloc(ep, cfg.ValueBytes)
+			hdr := mustMalloc(ep, headerBytes)
+			ack := mustMalloc(ep, ackBytes)
+			for {
+				o := q.Pop(p)
+				if o.kind == opShut {
+					return
+				}
+				err := clientOp(c, p, o, cfg, st, val, hdr, ack)
+				lat := int64(p.Now() - o.scheduledAt)
+				inflight--
+				if err != nil {
+					// Every protocol failure is a typed abort; anything
+					// else would be a bug worth a loud note.
+					if !errors.Is(err, omx.ErrAborted) && !errors.Is(err, omx.ErrPinAborted) {
+						sink.Note("rank %d: unexpected op error: %v", rank, err)
+					}
+					st.Errors++
+					continue
+				}
+				st.OK++
+				if o.kind == opGet {
+					st.Get.Record(lat)
+				} else {
+					st.Put.Record(lat)
+				}
+			}
+		})
+	}
+
+	c.Barrier()
+
+	// Open-loop dispatch: the schedule is fixed by the seed — arrival i
+	// happens at its drawn instant whether or not earlier operations
+	// finished. Latency is charged from this scheduled instant, so
+	// backend stalls surface as queueing delay instead of silently
+	// thinning the load (coordinated omission).
+	next := c.Now()
+	for i := 0; i < spec.Ops; i++ {
+		next += sim.Duration(arrivals.ExpFloat64() / spec.Rate * float64(sim.Second))
+		if now := c.Now(); next > now {
+			c.Proc().Sleep(next - now)
+		}
+		st.Issued++
+		kind := opGet
+		if rw.Float64() >= spec.GetFrac {
+			kind = opPut
+		}
+		if spec.MaxInflight > 0 && inflight >= spec.MaxInflight {
+			// Admission control: reject instead of queueing without
+			// bound. The typed error keeps rejection observable through
+			// the same errors.Is lattice the protocol verbs use.
+			err := error(&omx.OverloadError{Limit: spec.MaxInflight, Inflight: inflight})
+			if !errors.Is(err, omx.ErrOverload) {
+				panic("kv: overload rejection lost its type")
+			}
+			st.Rejected++
+			continue
+		}
+		inflight++
+		q.Push(eng, op{kind: kind, tenant: tenant, key: keys.Next(), seq: uint32(i) & seqMask, scheduledAt: next})
+	}
+	for w := 0; w < workers; w++ {
+		q.Push(eng, op{kind: opShut})
+	}
+	for _, d := range done {
+		d.Wait(c.Proc())
+	}
+
+	// All operations done: release every server with a shutdown header.
+	hdr := mustMalloc(ep, headerBytes)
+	for s := 0; s < cfg.Servers; s++ {
+		writeHeader(ep, hdr, opShut, 0, 0, 0)
+		r := ep.IsendVHint([]omx.Segment{{Addr: hdr, Len: headerBytes}},
+			kvMatch(rank, tagReq), c.PeerAddr(s), true)
+		if err := ep.Wait(c.Proc(), r); err != nil {
+			st.Errors++
+		}
+	}
+	sink.Stash(StashKey(rank), st)
+}
+
+// clientOp runs one operation's wire protocol from a client worker. Data
+// receives post before the request header goes out, so the server's data
+// phase can never race the match.
+func clientOp(c *mpi.Comm, p *sim.Proc, o op, cfg Config, st *Stats, val, hdr, ack vm.Addr) error {
+	ep := c.Endpoint()
+	rank := c.Rank()
+	server := o.key % cfg.Servers
+	valSeg := []omx.Segment{{Addr: val, Len: cfg.ValueBytes}}
+
+	var data, reply *omx.Request
+	if o.kind == opGet {
+		data = ep.IrecvVHint(valSeg, kvMatch(server, tagData|o.seq), ^uint64(0), true)
+	} else {
+		var sb [8]byte
+		binary.LittleEndian.PutUint64(sb[:], sig(o.tenant, o.key))
+		if err := ep.AS.Write(val, sb[:]); err != nil {
+			panic(fmt.Sprintf("kv: rank %d value write: %v", rank, err))
+		}
+		reply = ep.IrecvVHint([]omx.Segment{{Addr: ack, Len: ackBytes}},
+			kvMatch(server, tagReply|o.seq), ^uint64(0), true)
+	}
+
+	writeHeader(ep, hdr, o.kind, o.tenant, o.key, o.seq)
+	req := ep.IsendVHint([]omx.Segment{{Addr: hdr, Len: headerBytes}},
+		kvMatch(rank, tagReq), c.PeerAddr(server), true)
+	if err := ep.Wait(p, req); err != nil {
+		// The request never reached the server: reap the posted receive
+		// so the worker can move on.
+		if data != nil {
+			ep.CancelRecv(data, omx.ErrTimeout)
+			ep.Wait(p, data)
+		}
+		if reply != nil {
+			ep.CancelRecv(reply, omx.ErrTimeout)
+			ep.Wait(p, reply)
+		}
+		return err
+	}
+
+	if o.kind == opGet {
+		if err := ep.Wait(p, data); err != nil {
+			return err
+		}
+		var got [8]byte
+		if err := ep.AS.Read(val, got[:]); err != nil {
+			panic(fmt.Sprintf("kv: rank %d value read: %v", rank, err))
+		}
+		if binary.LittleEndian.Uint64(got[:]) != sig(o.tenant, o.key) {
+			st.BadVals++
+		}
+		return nil
+	}
+
+	send := ep.IsendVHint(valSeg, kvMatch(rank, tagData|o.seq), c.PeerAddr(server), true)
+	if err := ep.Wait(p, send); err != nil {
+		ep.CancelRecv(reply, omx.ErrTimeout)
+		ep.Wait(p, reply)
+		return err
+	}
+	return ep.Wait(p, reply)
+}
+
+// TenantMerged is one tenant's cluster-wide aggregate.
+type TenantMerged struct {
+	Name     string
+	Get      report.Hist
+	Put      report.Hist
+	Issued   int
+	OK       int
+	Rejected int
+	Errors   int
+	BadVals  int
+}
+
+// Merged is the cluster-wide aggregate Collect produces: per-class
+// histograms across all tenants, per-tenant breakdowns, and the server
+// side's error count. Because the histograms merge exactly and ranks fold
+// in ascending order, Merged is identical whatever the shard layout.
+type Merged struct {
+	Get        report.Hist
+	Put        report.Hist
+	Tenants    []TenantMerged
+	ServerErrs int
+}
+
+// Collect folds every rank's stashed Stats (ranks 0..ranks-1, in order)
+// into one Merged. get returns rank r's record, or nil if the rank never
+// stashed (a budget-expired run) — nil records are skipped.
+func Collect(cfg Config, ranks int, get func(rank int) *Stats) *Merged {
+	m := &Merged{Tenants: make([]TenantMerged, len(cfg.Tenants))}
+	for t := range cfg.Tenants {
+		m.Tenants[t].Name = cfg.Tenants[t].Name
+	}
+	for r := 0; r < ranks; r++ {
+		st := get(r)
+		if st == nil {
+			continue
+		}
+		if st.Tenant < 0 {
+			m.ServerErrs += st.Errors
+			continue
+		}
+		tm := &m.Tenants[st.Tenant]
+		tm.Get.Merge(&st.Get)
+		tm.Put.Merge(&st.Put)
+		tm.Issued += st.Issued
+		tm.OK += st.OK
+		tm.Rejected += st.Rejected
+		tm.Errors += st.Errors
+		tm.BadVals += st.BadVals
+		m.Get.Merge(&st.Get)
+		m.Put.Merge(&st.Put)
+	}
+	return m
+}

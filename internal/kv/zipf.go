@@ -1,0 +1,48 @@
+// Package kv implements an RDMA-backed key-value serving workload over
+// Open-MX endpoints: client ranks issue open-loop get/put traffic with
+// Zipfian key popularity against server ranks whose value heaps live under
+// the registration cache and pinning policies, so tail latency under
+// memory pressure becomes a measurable property of each backend.
+package kv
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf draws keys 0..n-1 with the popularity of rank k proportional to
+// 1/(k+1)^theta (key 0 is the hottest), by inverting a precomputed CDF
+// with a seeded uniform stream. math/rand and the table are both
+// deterministic, so the same seed always yields the same key sequence —
+// the property the scenario determinism gates need. Rolling our own
+// (instead of rand.Zipf's rejection sampler) keeps the rank-frequency
+// slope directly testable against the configured skew.
+type Zipf struct {
+	rng *rand.Rand
+	cdf []float64
+}
+
+// NewZipf builds a generator over n keys with skew theta.
+func NewZipf(seed int64, n int, theta float64) *Zipf {
+	if n <= 0 {
+		panic("kv: Zipf needs a positive key count")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += math.Pow(float64(k+1), -theta)
+		cdf[k] = sum
+	}
+	for k := range cdf {
+		cdf[k] /= sum
+	}
+	cdf[n-1] = 1 // guard against rounding: Next always lands in range
+	return &Zipf{rng: rand.New(rand.NewSource(seed)), cdf: cdf}
+}
+
+// Next draws the next key.
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}

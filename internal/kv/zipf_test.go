@@ -1,0 +1,74 @@
+package kv
+
+import (
+	"math"
+	"testing"
+)
+
+// TestZipfReproducible pins the seeding contract: the same seed yields the
+// same key stream, a different seed a different one.
+func TestZipfReproducible(t *testing.T) {
+	a := NewZipf(11, 100, 0.99)
+	b := NewZipf(11, 100, 0.99)
+	other := NewZipf(12, 100, 0.99)
+	same, diff := true, false
+	for i := 0; i < 1000; i++ {
+		x, y := a.Next(), b.Next()
+		if x != y {
+			same = false
+		}
+		if x != other.Next() {
+			diff = true
+		}
+		if x < 0 || x >= 100 {
+			t.Fatalf("draw %d out of range: %d", i, x)
+		}
+	}
+	if !same {
+		t.Fatal("identical seeds diverged")
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+// TestZipfSkew checks the distribution itself: over a large sample the
+// empirical rank-frequency curve must follow freq(k) ∝ (k+1)^-theta, i.e.
+// a log-log slope of -theta, within tolerance. The fit uses least squares
+// over the head of the distribution, where every rank has enough mass for
+// its empirical frequency to be stable.
+func TestZipfSkew(t *testing.T) {
+	for _, theta := range []float64{0.6, 0.99, 1.3} {
+		const keys, draws, head = 200, 400_000, 25
+		z := NewZipf(5, keys, theta)
+		counts := make([]int, keys)
+		for i := 0; i < draws; i++ {
+			counts[z.Next()]++
+		}
+		// Key id is popularity rank by construction; check monotonic-ish
+		// head ordering (hottest key is rank 0).
+		for k := 1; k < 5; k++ {
+			if counts[k] > counts[0] {
+				t.Fatalf("theta=%g: key %d drawn more often than key 0 (%d > %d)",
+					theta, k, counts[k], counts[0])
+			}
+		}
+		var sx, sy, sxx, sxy float64
+		for k := 0; k < head; k++ {
+			if counts[k] == 0 {
+				t.Fatalf("theta=%g: head rank %d never drawn in %d samples", theta, k, draws)
+			}
+			x := math.Log(float64(k + 1))
+			y := math.Log(float64(counts[k]) / draws)
+			sx += x
+			sy += y
+			sxx += x * x
+			sxy += x * y
+		}
+		slope := (float64(head)*sxy - sx*sy) / (float64(head)*sxx - sx*sx)
+		if math.Abs(slope-(-theta)) > 0.08 {
+			t.Errorf("theta=%g: empirical rank-frequency slope %.3f, want %.3f ± 0.08",
+				theta, slope, -theta)
+		}
+	}
+}

@@ -135,6 +135,11 @@ func (c *Comm) Proc() *sim.Proc { return c.p }
 // Endpoint returns the rank's Open-MX endpoint.
 func (c *Comm) Endpoint() *omx.Endpoint { return c.ep }
 
+// PeerAddr returns rank r's endpoint address, for layers (like the kv
+// workload) that drive raw omx requests from worker processes outside the
+// rank body and therefore cannot use the Comm verbs.
+func (c *Comm) PeerAddr(r int) omx.EndpointAddr { return c.world.eps[r].Addr() }
+
 // Now returns the current simulated time.
 func (c *Comm) Now() sim.Time { return c.p.Now() }
 

@@ -23,7 +23,25 @@ var (
 	// ErrTimeout marks a receive cancelled by a caller-armed deadline
 	// (mpi.Comm.RecvTimeout).
 	ErrTimeout = fmt.Errorf("%w: receive timed out", ErrAborted)
+	// ErrOverload marks an operation rejected by admission control before
+	// any protocol traffic: the caller's bounded-inflight budget was full.
+	ErrOverload = fmt.Errorf("%w: admission limit reached", ErrAborted)
 )
+
+// OverloadError carries the admission-control state at rejection time; it
+// unwraps to ErrOverload (and therefore ErrAborted), so callers can match
+// coarsely with errors.Is or pull the limits out with errors.As.
+type OverloadError struct {
+	Limit    int // configured inflight bound
+	Inflight int // operations accepted but not yet complete
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("%v (%d inflight, limit %d)", ErrOverload, e.Inflight, e.Limit)
+}
+
+// Unwrap links the struct error into the typed-abort lattice.
+func (e *OverloadError) Unwrap() error { return ErrOverload }
 
 // ReqKind distinguishes send and receive requests.
 type ReqKind int

@@ -1,0 +1,90 @@
+package omx
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestAbortLattice pins the typed-abort lattice: which sentinel each error
+// does and does not match under errors.Is. Every liveness/admission abort
+// must wrap ErrAborted so a caller can handle the whole family with one
+// check, while the specific sentinels stay disjoint from each other.
+func TestAbortLattice(t *testing.T) {
+	sentinels := []struct {
+		name string
+		err  error
+	}{
+		{"ErrAborted", ErrAborted},
+		{"ErrPeerDead", ErrPeerDead},
+		{"ErrTimeout", ErrTimeout},
+		{"ErrOverload", ErrOverload},
+		{"ErrPinAborted", ErrPinAborted},
+		{"ErrTruncated", ErrTruncated},
+	}
+	cases := []struct {
+		name string
+		err  error
+		is   []error // sentinels errors.Is must match (everything else must not)
+	}{
+		{"ErrAborted", ErrAborted, []error{ErrAborted}},
+		{"ErrPeerDead", ErrPeerDead, []error{ErrPeerDead, ErrAborted}},
+		{"ErrTimeout", ErrTimeout, []error{ErrTimeout, ErrAborted}},
+		{"ErrOverload", ErrOverload, []error{ErrOverload, ErrAborted}},
+		// ErrPinAborted predates the lattice and is deliberately
+		// standalone: a pin failure is a resource condition, not a
+		// liveness abort, and callers retry it differently.
+		{"ErrPinAborted", ErrPinAborted, []error{ErrPinAborted}},
+		{"ErrTruncated", ErrTruncated, []error{ErrTruncated}},
+		{
+			"OverloadError",
+			&OverloadError{Limit: 8, Inflight: 8},
+			[]error{ErrOverload, ErrAborted},
+		},
+		{
+			"wrapped peer-dead",
+			fmt.Errorf("rank 3: %w", ErrPeerDead),
+			[]error{ErrPeerDead, ErrAborted},
+		},
+		{
+			"wrapped overload",
+			fmt.Errorf("put key 9: %w", &OverloadError{Limit: 4, Inflight: 4}),
+			[]error{ErrOverload, ErrAborted},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := map[error]bool{}
+			for _, s := range tc.is {
+				want[s] = true
+			}
+			for _, s := range sentinels {
+				if got := errors.Is(tc.err, s.err); got != want[s.err] {
+					t.Errorf("errors.Is(%v, %s) = %v, want %v", tc.err, s.name, got, want[s.err])
+				}
+			}
+		})
+	}
+}
+
+// TestOverloadErrorAs checks that the admission-control state survives
+// wrapping: errors.As digs the *OverloadError out of a decorated chain.
+func TestOverloadErrorAs(t *testing.T) {
+	base := &OverloadError{Limit: 16, Inflight: 17}
+	wrapped := fmt.Errorf("tenant t2: %w", base)
+	var oe *OverloadError
+	if !errors.As(wrapped, &oe) {
+		t.Fatalf("errors.As failed to find *OverloadError in %v", wrapped)
+	}
+	if oe.Limit != 16 || oe.Inflight != 17 {
+		t.Fatalf("recovered OverloadError %+v, want Limit=16 Inflight=17", oe)
+	}
+	// A plain sentinel carries no struct payload.
+	oe = nil
+	if errors.As(ErrTimeout, &oe) {
+		t.Fatalf("errors.As(ErrTimeout) unexpectedly matched *OverloadError %+v", oe)
+	}
+	if got := base.Error(); got == "" || !errors.Is(base, ErrOverload) {
+		t.Fatalf("OverloadError.Error/Unwrap broken: %q", got)
+	}
+}

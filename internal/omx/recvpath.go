@@ -3,6 +3,7 @@ package omx
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"omxsim/internal/cpu"
 	"omxsim/internal/sim"
@@ -224,7 +225,11 @@ func (ep *Endpoint) noteArrival(rs *rstate, off, n int) {
 	// Cross-message gap evidence: per-pair sequence numbers mean this
 	// arrival also proves that anything older from the same node should
 	// have arrived. Re-request the oldest hole of other stalled pulls from
-	// that node (rate-limited per block by GapReReqDelay).
+	// that node (rate-limited per block by GapReReqDelay). The set is keyed
+	// by pointer, so candidates are collected and sorted by message key
+	// before any wire traffic: map iteration order would otherwise leak
+	// run-to-run nondeterminism into the re-request ordering.
+	var stalled []*rstate
 	for other := range ep.activePulls {
 		if other == rs || other.completed || other.key.src.Node != rs.key.src.Node {
 			continue
@@ -235,11 +240,20 @@ func (ep *Endpoint) noteArrival(rs *rstate, off, n int) {
 		if now-other.lastProgress < ep.cfg.CrossGapDelay {
 			continue
 		}
-		hole := &other.blocks[other.lowestHole]
-		if now-hole.lastReq >= ep.cfg.CrossGapDelay {
-			ep.node.stats.OptimisticReReqs++
-			ep.reRequestBlock(other, hole)
+		if now-other.blocks[other.lowestHole].lastReq >= ep.cfg.CrossGapDelay {
+			stalled = append(stalled, other)
 		}
+	}
+	sort.Slice(stalled, func(i, j int) bool {
+		a, b := stalled[i].key, stalled[j].key
+		if a.src != b.src {
+			return a.src.EP < b.src.EP
+		}
+		return a.seq < b.seq
+	})
+	for _, other := range stalled {
+		ep.node.stats.OptimisticReReqs++
+		ep.reRequestBlock(other, &other.blocks[other.lowestHole])
 	}
 }
 

@@ -1,0 +1,175 @@
+package report
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Histogram bucket layout: values below 2*histSubCount land in unit-width
+// buckets (exact); above that each power-of-two octave is split into
+// histSubCount sub-buckets, so the bucket width is value/histSubCount and
+// every reported quantile overstates the true value by at most 1/histSubCount
+// (3.125%). The layout is a pure function of the value — no auto-ranging,
+// no recorded-extreme state — so histograms recorded on different shards
+// (or split arbitrarily across recorders) merge by adding counts, exactly:
+// Merge(a, b).Quantile(q) == whole.Quantile(q) for any split of the same
+// stream. The scenario determinism gates rely on this.
+const (
+	histSubBits  = 5
+	histSubCount = 1 << histSubBits
+)
+
+// Hist is an HDR-style log-bucketed histogram of non-negative int64
+// samples (latencies in simulated nanoseconds). The zero value is ready to
+// use. It is not safe for concurrent use; record into one Hist per shard
+// or rank and Merge afterwards.
+type Hist struct {
+	counts []uint64
+	n      uint64
+	sum    int64
+	max    int64
+	min    int64
+}
+
+// bucketIndex maps a value to its bucket. Indices are contiguous: values
+// in [0, 2*histSubCount) map to themselves; a value with b significant
+// bits (b > histSubBits+1) keeps its top histSubBits+1 bits as the
+// sub-bucket and the remaining b-histSubBits-1 bits select the octave.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < 2*histSubCount {
+		return int(v)
+	}
+	k := bits.Len64(uint64(v)) - histSubBits - 1
+	return k<<histSubBits + int(v>>uint(k))
+}
+
+// bucketUpper returns the largest value the bucket holds — what quantiles
+// report, so a reported percentile never understates the true one.
+func bucketUpper(i int) int64 {
+	if i < 2*histSubCount {
+		return int64(i)
+	}
+	k := i>>histSubBits - 1
+	m := int64(i - k<<histSubBits)
+	return (m+1)<<uint(k) - 1
+}
+
+// Record adds one sample. Negative samples clamp to zero (simulated
+// latencies are never negative; the clamp keeps a bad caller visible in
+// bucket zero instead of panicking mid-run).
+func (h *Hist) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	i := bucketIndex(v)
+	if i >= len(h.counts) {
+		grown := make([]uint64, i+1)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[i]++
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+}
+
+// Merge folds o into h. Because the bucket layout is fixed, merging is
+// exact: the result is indistinguishable from having recorded both streams
+// into one histogram.
+func (h *Hist) Merge(o *Hist) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	if len(o.counts) > len(h.counts) {
+		grown := make([]uint64, len(o.counts))
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.n == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.n += o.n
+	h.sum += o.sum
+}
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() uint64 { return h.n }
+
+// Max returns the largest recorded sample (exact, not a bucket bound).
+func (h *Hist) Max() int64 { return h.max }
+
+// Min returns the smallest recorded sample (0 when empty).
+func (h *Hist) Min() int64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Mean returns the exact arithmetic mean of the recorded samples.
+func (h *Hist) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Quantile returns the upper bound of the bucket holding the sample of
+// rank ceil(q*n) (q in (0, 1]; q=0.5 is the median, q=0.999 the p999).
+// The result is within 1/histSubCount of the true order statistic, always
+// from above, and identical however the stream was sharded before
+// merging. Returns 0 on an empty histogram.
+func (h *Hist) Quantile(q float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.n))
+	if float64(rank) < q*float64(h.n) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.n {
+		rank = h.n
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return h.max // unreachable: counts sum to n
+}
+
+// QuantileUS returns Quantile(q) converted from nanoseconds to
+// microseconds. int64 nanosecond latencies are far below 2^53, so the
+// division is exact in float64 and byte-stable across platforms.
+func (h *Hist) QuantileUS(q float64) float64 { return float64(h.Quantile(q)) / 1000 }
+
+// MaxUS returns the exact maximum in microseconds.
+func (h *Hist) MaxUS() float64 { return float64(h.max) / 1000 }
+
+// String summarises the distribution for notes and debugging.
+func (h *Hist) String() string {
+	if h.n == 0 {
+		return "hist{empty}"
+	}
+	return fmt.Sprintf("hist{n=%d p50=%d p99=%d p999=%d max=%d}",
+		h.n, h.Quantile(0.5), h.Quantile(0.99), h.Quantile(0.999), h.max)
+}

@@ -1,0 +1,173 @@
+package report
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// oracleQuantile computes the exact order statistic the histogram
+// approximates: the sample of rank ceil(q*n) in the sorted stream.
+func oracleQuantile(sorted []int64, q float64) int64 {
+	n := len(sorted)
+	rank := int(q * float64(n))
+	if float64(rank) < q*float64(n) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
+// streams generates random latency streams with the shapes the workload
+// actually produces: uniform, exponential-ish heavy tails, bimodal
+// (fast-path plus queueing spikes), and tiny streams around the bucket
+// boundaries.
+func streams(rng *rand.Rand) [][]int64 {
+	var out [][]int64
+	// Uniform over several magnitudes.
+	for _, span := range []int64{50, 1 << 10, 1 << 20, 1 << 36} {
+		s := make([]int64, 500+rng.Intn(1500))
+		for i := range s {
+			s[i] = rng.Int63n(span)
+		}
+		out = append(out, s)
+	}
+	// Heavy tail: most samples small, a few huge.
+	ht := make([]int64, 2000)
+	for i := range ht {
+		ht[i] = int64(rng.ExpFloat64() * 50_000)
+	}
+	out = append(out, ht)
+	// Bimodal: 95% fast path, 5% hundredfold spikes.
+	bi := make([]int64, 3000)
+	for i := range bi {
+		bi[i] = 2_000 + rng.Int63n(500)
+		if rng.Float64() < 0.05 {
+			bi[i] *= 100
+		}
+	}
+	out = append(out, bi)
+	// Boundary hugging: values around the unit/log bucket transition.
+	bd := make([]int64, 300)
+	for i := range bd {
+		bd[i] = int64(rng.Intn(4 * histSubCount))
+	}
+	out = append(out, bd)
+	// Singleton and pair.
+	out = append(out, []int64{12345}, []int64{7, 7_000_000})
+	return out
+}
+
+var quantiles = []float64{0.5, 0.9, 0.99, 0.999, 1}
+
+// TestHistQuantileVsOracle is the histogram property test: for random
+// latency streams, every reported percentile must be the upper bound of
+// the bucket holding the oracle's order statistic — never below the true
+// value, and above it by at most the bucket's relative-error bound
+// 1/histSubCount.
+func TestHistQuantileVsOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for si, s := range streams(rng) {
+		var h Hist
+		for _, v := range s {
+			h.Record(v)
+		}
+		sorted := append([]int64(nil), s...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		if h.Count() != uint64(len(s)) {
+			t.Fatalf("stream %d: count %d != %d", si, h.Count(), len(s))
+		}
+		if h.Max() != sorted[len(sorted)-1] || h.Min() != sorted[0] {
+			t.Fatalf("stream %d: min/max %d/%d != %d/%d", si, h.Min(), h.Max(), sorted[0], sorted[len(sorted)-1])
+		}
+		for _, q := range quantiles {
+			got := h.Quantile(q)
+			want := oracleQuantile(sorted, q)
+			// The histogram picks exactly the bucket the oracle value
+			// falls in, so the report is that bucket's upper bound.
+			if exact := bucketUpper(bucketIndex(want)); got != exact {
+				t.Fatalf("stream %d q=%g: got %d, want bucket upper %d of oracle %d", si, q, got, exact, want)
+			}
+			if got < want {
+				t.Fatalf("stream %d q=%g: reported %d understates oracle %d", si, q, got, want)
+			}
+			// Relative error bound: bucket width is at most want/histSubCount
+			// (and 0 in the exact unit-bucket range).
+			slack := want / histSubCount
+			if slack < 1 {
+				slack = 1
+			}
+			if got > want+slack {
+				t.Fatalf("stream %d q=%g: reported %d exceeds oracle %d by more than %d", si, q, got, want, slack)
+			}
+		}
+	}
+}
+
+// TestHistMergeExact asserts the merge identity the sharded runner relies
+// on: splitting a stream into arbitrary sub-streams, recording each into
+// its own histogram, and merging must be indistinguishable — bucket
+// counts, count, sum, min, max, and every quantile — from recording the
+// whole stream into one histogram.
+func TestHistMergeExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for si, s := range streams(rng) {
+		var whole Hist
+		for _, v := range s {
+			whole.Record(v)
+		}
+		for trial := 0; trial < 4; trial++ {
+			parts := 1 + rng.Intn(6)
+			shards := make([]Hist, parts)
+			for _, v := range s {
+				shards[rng.Intn(parts)].Record(v)
+			}
+			var merged Hist
+			for i := range shards {
+				merged.Merge(&shards[i])
+			}
+			if merged.Count() != whole.Count() || merged.sum != whole.sum ||
+				merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+				t.Fatalf("stream %d trial %d: merged summary diverges: %v vs %v", si, trial, merged.String(), whole.String())
+			}
+			for i := range merged.counts {
+				var w uint64
+				if i < len(whole.counts) {
+					w = whole.counts[i]
+				}
+				if merged.counts[i] != w {
+					t.Fatalf("stream %d trial %d: bucket %d: merged %d != whole %d", si, trial, i, merged.counts[i], w)
+				}
+			}
+			for _, q := range quantiles {
+				if m, w := merged.Quantile(q), whole.Quantile(q); m != w {
+					t.Fatalf("stream %d trial %d q=%g: merged %d != whole %d", si, trial, q, m, w)
+				}
+			}
+		}
+	}
+}
+
+// TestHistEmptyAndZero pins the edge behaviour: an empty histogram
+// reports zeros, and zero/negative samples land in bucket 0.
+func TestHistEmptyAndZero(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.99) != 0 || h.Count() != 0 || h.Max() != 0 || h.Min() != 0 || h.Mean() != 0 {
+		t.Fatalf("empty histogram not all-zero: %s", h.String())
+	}
+	h.Record(0)
+	h.Record(-5)
+	if h.Count() != 2 || h.Quantile(1) != 0 || h.Max() != 0 {
+		t.Fatalf("zero/negative samples mishandled: %s", h.String())
+	}
+	var o Hist
+	o.Merge(&h)
+	if o.Count() != 2 || o.Min() != 0 {
+		t.Fatalf("merge into empty mishandled: %s", o.String())
+	}
+}

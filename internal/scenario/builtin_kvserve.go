@@ -1,0 +1,351 @@
+// builtin_kvserve.go registers the kvserve-* scenario family: an
+// RDMA-backed key-value serving tier where client ranks drive open-loop
+// Zipfian get/put traffic against server ranks whose value heaps live
+// under the registration cache and pinning policies. The report is tail
+// latency — HDR-histogram percentiles per operation class and per tenant —
+// instead of the mean-throughput tables of the paper's benchmarks: the
+// modern serving question the ROADMAP's "production serving workload"
+// item asks of the same pinning trade-offs.
+package scenario
+
+import (
+	"fmt"
+
+	"omxsim/internal/cluster"
+	"omxsim/internal/core"
+	"omxsim/internal/kv"
+	"omxsim/internal/mpi"
+	"omxsim/internal/omx"
+	"omxsim/internal/report"
+	"omxsim/internal/sim"
+)
+
+// kvWorkload adapts kv.Run to the declarative runner: the CaseRun is the
+// workload's stash-and-note sink, and the cell's seed drives every
+// per-client random stream.
+func kvWorkload(cfg kv.Config) Workload {
+	return func(c *mpi.Comm, cr *CaseRun) {
+		kv.Run(c, cr, cr.Seed, cfg)
+	}
+}
+
+// kvQuantiles are the reported percentiles (metric suffix, q).
+var kvQuantiles = []struct {
+	suffix string
+	q      float64
+}{
+	{"p50_us", 0.5},
+	{"p99_us", 0.99},
+	{"p999_us", 0.999},
+}
+
+// kvReport builds the scenario Report hook: it folds every rank's stashed
+// Stats into "kv."-prefixed percentile metrics (per class and per tenant,
+// exact merges in rank order, so shard-count invariant), plain count
+// metrics for the results table, and one latency table across all cells.
+func kvReport(cfg kv.Config, ranks int) func(run *Run) {
+	return func(run *Run) {
+		t := report.Table{
+			Title:   "latency (simulated µs)",
+			Columns: []string{"case", "class", "p50", "p99", "p999", "max", "n"},
+		}
+		for _, cr := range run.Cases {
+			m := kv.Collect(cfg, ranks, func(r int) *kv.Stats {
+				st, _ := cr.Stashed(kv.StashKey(r)).(*kv.Stats)
+				return st
+			})
+			addRow := func(label string, h *report.Hist) {
+				for _, kq := range kvQuantiles {
+					cr.Metric("kv."+label+"."+kq.suffix, h.QuantileUS(kq.q))
+				}
+				cr.Metric("kv."+label+".max_us", h.MaxUS())
+				t.Rows = append(t.Rows, []string{
+					cr.id(), label,
+					report.F(h.QuantileUS(0.5), 1),
+					report.F(h.QuantileUS(0.99), 1),
+					report.F(h.QuantileUS(0.999), 1),
+					report.F(h.MaxUS(), 1),
+					report.D(int64(h.Count())),
+				})
+			}
+			addRow("get", &m.Get)
+			addRow("put", &m.Put)
+			issued, ok, rejected, errs, badvals := 0, 0, 0, m.ServerErrs, 0
+			for ti := range m.Tenants {
+				tm := &m.Tenants[ti]
+				var all report.Hist
+				all.Merge(&tm.Get)
+				all.Merge(&tm.Put)
+				addRow(tm.Name, &all)
+				cr.Metric("kv."+tm.Name+".issued", float64(tm.Issued))
+				cr.Metric("kv."+tm.Name+".rejected", float64(tm.Rejected))
+				issued += tm.Issued
+				ok += tm.OK
+				rejected += tm.Rejected
+				errs += tm.Errors
+				badvals += tm.BadVals
+			}
+			cr.Metric("ops_issued", float64(issued))
+			cr.Metric("ops_ok", float64(ok))
+			cr.Metric("ops_rejected", float64(rejected))
+			cr.Metric("ops_err", float64(errs))
+			cr.Metric("ops_badval", float64(badvals))
+		}
+		run.Result.AddTable(t)
+	}
+}
+
+// KVSLO is one tenant's service-level objective in a kvserve scenario:
+// upper bounds on the tenant's latency percentiles (µs of simulated time,
+// classes merged; 0 = unchecked) plus admission-control expectations.
+// Because the simulation is deterministic, these are exact regression
+// gates, not statistical ones — a bound that holds, holds on every run.
+type KVSLO struct {
+	Tenant        string
+	P50US         float64
+	P99US         float64
+	P999US        float64
+	MaxRejectFrac float64 // rejected/issued must stay at or below (only checked when > 0)
+	MinRejects    float64 // rejected must reach (abusive tenants must trip admission)
+}
+
+// KVSLOBlock renders per-tenant SLOs as one assertion per tenant, checked
+// on every case cell. See docs/scenario-authoring.md for the recipe.
+func KVSLOBlock(slos ...KVSLO) []Assertion {
+	var out []Assertion
+	for _, s := range slos {
+		s := s
+		name := fmt.Sprintf("SLO %s", s.Tenant)
+		out = append(out, EachCase(name, func(cr *CaseRun) (bool, string) {
+			for _, b := range []struct {
+				suffix string
+				bound  float64
+			}{
+				{"p50_us", s.P50US}, {"p99_us", s.P99US}, {"p999_us", s.P999US},
+			} {
+				if b.bound <= 0 {
+					continue
+				}
+				key := "kv." + s.Tenant + "." + b.suffix
+				v, ok := cr.Metrics[key]
+				if !ok {
+					return false, fmt.Sprintf("metric %q not recorded", key)
+				}
+				if v > b.bound {
+					return false, fmt.Sprintf("%s = %.1fµs > %.1fµs", key, v, b.bound)
+				}
+			}
+			issued := cr.Metrics["kv."+s.Tenant+".issued"]
+			rejected := cr.Metrics["kv."+s.Tenant+".rejected"]
+			if s.MaxRejectFrac > 0 && issued > 0 && rejected/issued > s.MaxRejectFrac {
+				return false, fmt.Sprintf("reject fraction %.3f > %.3f (%g/%g)",
+					rejected/issued, s.MaxRejectFrac, rejected, issued)
+			}
+			if s.MinRejects > 0 && rejected < s.MinRejects {
+				return false, fmt.Sprintf("rejected = %g < %g: admission control never engaged", rejected, s.MinRejects)
+			}
+			return true, ""
+		}))
+	}
+	return out
+}
+
+// kvTailDifferential asserts the family's headline claim: under memory
+// pressure the no-pin ODP backend pays a tail-latency premium over a
+// pinned backend, because reclaim steals its value-heap pages and every
+// cold get eats device faults and swap-ins on the critical path. The
+// check is vacuous under a -policy filter that drops either cell.
+func kvTailDifferential(metric, pinnedPolicy, odpPolicy string, factor float64) Assertion {
+	name := fmt.Sprintf("%s tail: %s >= %.2fx %s", metric, odpPolicy, factor, pinnedPolicy)
+	return Assertion{Name: name, Check: func(run *Run) (bool, string) {
+		var pinned, odp *CaseRun
+		for _, cr := range run.Cases {
+			switch cr.PolicyName {
+			case pinnedPolicy:
+				pinned = cr
+			case odpPolicy:
+				odp = cr
+			}
+		}
+		if pinned == nil || odp == nil {
+			return true, "" // policy filter dropped a side
+		}
+		p, o := pinned.Metrics[metric], odp.Metrics[metric]
+		if p <= 0 {
+			return false, fmt.Sprintf("%s: %s = %g", pinnedPolicy, metric, p)
+		}
+		if o < p*factor {
+			return false, fmt.Sprintf("%s %.1fµs < %.2f x %s %.1fµs", odpPolicy, o, factor, pinnedPolicy, p)
+		}
+		return true, ""
+	}}
+}
+
+// kvCleanRun asserts no operation was lost to anything but the workload's
+// own admission control: protocol errors and payload corruption are zero
+// and every accepted operation completed.
+func kvCleanRun() Assertion {
+	return EachCase("no protocol errors or corrupt values", func(cr *CaseRun) (bool, string) {
+		if e := cr.Metrics["ops_err"]; e != 0 {
+			return false, fmt.Sprintf("ops_err = %g", e)
+		}
+		if b := cr.Metrics["ops_badval"]; b != 0 {
+			return false, fmt.Sprintf("ops_badval = %g", b)
+		}
+		want := cr.Metrics["ops_issued"] - cr.Metrics["ops_rejected"]
+		if got := cr.Metrics["ops_ok"]; got != want {
+			return false, fmt.Sprintf("ops_ok = %g, want issued-rejected = %g", got, want)
+		}
+		return true, ""
+	})
+}
+
+func init() {
+	// kvserve-mix: the family's baseline — 2 storage servers, 2 client
+	// endpoints, a 70/30 read/write mix at moderate open-loop load, no
+	// memory pressure. Every backend must serve the same schedule with
+	// zero rejections and tails inside the SLO; the cell exists to give
+	// the pressure scenarios an unloaded reference and the determinism
+	// gates a 4-node kv topology.
+	mixCfg := kv.Config{
+		Servers:    2,
+		Keys:       64,
+		ValueBytes: 64 * 1024,
+		Theta:      0.9,
+		Workers:    4,
+		Tenants: []kv.Tenant{
+			{Name: "t0", Ops: 150, Rate: 8000, GetFrac: 0.7, MaxInflight: 16},
+		},
+	}
+	MustRegister(&Scenario{
+		Name:        "kvserve-mix",
+		Description: "KV serving baseline: open-loop Zipfian get/put mix against 2 storage servers, HDR tail percentiles per backend, no memory pressure",
+		Cluster: cluster.Config{
+			Nodes: 4,
+			Link:  fleetLink(),
+		},
+		Cases: []Case{
+			{Label: "cache", OMX: omx.DefaultConfig(core.OnDemand, true)},
+			{Label: "overlapped-cache", OMX: omx.DefaultConfig(core.Overlapped, true)},
+			{Label: "odp", OMX: omx.DefaultConfig(core.NoPinODP, true)},
+		},
+		Workload: kvWorkload(mixCfg),
+		Report:   kvReport(mixCfg, 4),
+		Assertions: append([]Assertion{
+			Completed(),
+			PinAccountingBalanced(),
+			kvCleanRun(),
+			MetricBelow("ops_rejected", 0.5),
+			MetricAtLeast("ops_ok", 299),
+		}, KVSLOBlock(
+			KVSLO{Tenant: "t0", P50US: 400, P99US: 1500, P999US: 4000},
+		)...),
+	})
+
+	// kvserve-pressure: the headline cell. Both servers share one node
+	// whose frame budget the value heaps plus a churn hog overcommit, so
+	// kswapd and direct reclaim run while the tier serves. The pinned
+	// backend holds its hot value slots against reclaim; ODP lets them
+	// go and pays device faults and swap-ins on the get path — visible
+	// as a p99 premium, not as a mean-throughput delta.
+	pressureCfg := kv.Config{
+		Servers:     2,
+		Keys:        48,
+		ValueBytes:  64 * 1024,
+		Theta:       0.99,
+		Workers:     4,
+		ChurnBytes:  2 << 20,
+		ChurnPeriod: 200 * sim.Microsecond,
+		Tenants: []kv.Tenant{
+			{Name: "t0", Ops: 140, Rate: 6000, GetFrac: 0.8, MaxInflight: 24},
+		},
+	}
+	MustRegister(&Scenario{
+		Name:        "kvserve-pressure",
+		Description: "KV serving under emergent memory pressure: reclaim steals value-heap pages, pinned backends hold their tails, ODP pays a p99 premium",
+		Cluster: cluster.Config{
+			Nodes:        2,
+			RanksPerNode: 2,
+			Mem:          omx.MemConfig{Frames: 1536},
+			Link:         fleetLink(),
+		},
+		Cases: []Case{
+			{Label: "cache", OMX: omx.DefaultConfig(core.OnDemand, true)},
+			{Label: "odp", OMX: omx.DefaultConfig(core.NoPinODP, true)},
+		},
+		Workload: kvWorkload(pressureCfg),
+		Report:   kvReport(pressureCfg, 4),
+		Assertions: append([]Assertion{
+			Completed(),
+			PinAccountingBalanced(),
+			kvCleanRun(),
+			MetricAtLeast("stats.pgsteal", 1),
+			EachCaseWhere("odp absorbs reclaim as device faults", PolicyCases("odp"),
+				func(cr *CaseRun) (bool, string) {
+					if cr.Metrics["stats.odp_faults"] < 1 {
+						return false, fmt.Sprintf("odp_faults = %g", cr.Metrics["stats.odp_faults"])
+					}
+					return true, ""
+				}),
+			kvTailDifferential("kv.get.p99_us", "on-demand", "odp", 1.15),
+		}, KVSLOBlock(
+			KVSLO{Tenant: "t0", P99US: 20000, P999US: 25000},
+		)...),
+	})
+
+	// kvserve-multitenant: three tenants with distinct traffic contracts
+	// share three server ranks on one budgeted node. The premium tenant
+	// buys a strict tail SLO, the standard tenant a looser one, and the
+	// batch tenant arrives far beyond its admission bound — its load is
+	// shed as typed ErrOverload rejections instead of destroying the
+	// others' tails.
+	mtCfg := kv.Config{
+		Servers:     3,
+		Keys:        36,
+		ValueBytes:  64 * 1024,
+		Theta:       0.99,
+		Workers:     4,
+		ChurnBytes:  1 << 20,
+		ChurnPeriod: 250 * sim.Microsecond,
+		Tenants: []kv.Tenant{
+			// premium + standard together stay well inside the serving
+			// node's NIC capacity; batch alone demands more than the whole
+			// node can carry and a 3-op admission bound, so its overload is
+			// shed at the door instead of queueing into the others' tails.
+			{Name: "premium", Ops: 120, Rate: 3000, GetFrac: 0.8, MaxInflight: 32},
+			{Name: "standard", Ops: 120, Rate: 4000, GetFrac: 0.5, MaxInflight: 32},
+			{Name: "batch", Ops: 200, Rate: 20000, GetFrac: 0.5, MaxInflight: 3},
+		},
+	}
+	MustRegister(&Scenario{
+		Name:        "kvserve-multitenant",
+		Description: "3 tenants, 3 budgeted servers: per-tenant tail SLOs, admission control sheds the abusive tenant's overload as typed rejections",
+		Cluster: cluster.Config{
+			Nodes:        2,
+			RanksPerNode: 3,
+			// The three tenants' heaps are ~1730 frames; the budget fits
+			// them plus part of the churn, so reclaim runs continuously
+			// but a pinned working set never starves the allocator.
+			Mem:  omx.MemConfig{Frames: 2304},
+			Link: fleetLink(),
+		},
+		Cases: []Case{
+			{Label: "cache", OMX: omx.DefaultConfig(core.OnDemand, true)},
+			{Label: "odp", OMX: omx.DefaultConfig(core.NoPinODP, true)},
+		},
+		Workload: kvWorkload(mtCfg),
+		Report:   kvReport(mtCfg, 6),
+		Assertions: append([]Assertion{
+			Completed(),
+			PinAccountingBalanced(),
+			kvCleanRun(),
+			MetricAtLeast("stats.pgsteal", 1),
+			MetricAtLeast("ops_rejected", 1),
+			kvTailDifferential("kv.get.p999_us", "on-demand", "odp", 1.1),
+		}, KVSLOBlock(
+			KVSLO{Tenant: "premium", P50US: 1500, P99US: 8000, P999US: 12000},
+			KVSLO{Tenant: "standard", P99US: 10000, P999US: 15000},
+			KVSLO{Tenant: "batch", MinRejects: 1, MaxRejectFrac: 0.95},
+		)...),
+	})
+}

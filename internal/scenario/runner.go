@@ -138,6 +138,9 @@ func (s *Scenario) runDeclarative(run *Run) error {
 			run.Cases = append(run.Cases, cr)
 		}
 	}
+	if s.Report != nil {
+		s.Report(run)
+	}
 	s.buildTables(run, cases, sizes)
 	return nil
 }
@@ -155,6 +158,7 @@ func (s *Scenario) runCell(run *Run, c Case, size int) (*CaseRun, error) {
 	cfg := s.Cluster
 	cfg.OMX = c.OMX
 	cfg.Seed = run.Opts.Seed
+	cr.Seed = run.Opts.Seed
 	if run.Opts.Shards != 0 {
 		cfg.Shards = run.Opts.Shards
 	}
@@ -426,8 +430,10 @@ func collectStats(cr *CaseRun) {
 	set := cr.Metric
 	set("stats.elapsed_us", cl.Now().Micros())
 	// Simulator-speed trajectory: events dispatched for this cell (divide by
-	// host wall clock to get events/sec; see PERFORMANCE.md).
-	set("stats.events_fired", float64(cl.EventsFired()))
+	// host wall clock to get events/sec; see PERFORMANCE.md). Foreground
+	// only: daemon ticks (kswapd) run up to shard-layout-dependent window
+	// boundaries and would break report invariance across shard counts.
+	set("stats.events_fired", float64(cl.ForegroundEventsFired()))
 	set("stats.frames_rx", float64(st.FramesRx))
 	set("stats.pull_replies", float64(st.PullRepliesRx))
 	set("stats.overlap_misses", float64(st.OverlapMissSender+st.OverlapMissReceiver))
@@ -577,11 +583,14 @@ func (s *Scenario) buildTables(run *Run, cases []Case, sizes []int) {
 }
 
 // workloadMetricNames is the sorted union of non-"stats." metric names.
+// "kv."-prefixed latency metrics are excluded too: the kvserve Report hook
+// renders them in its own latency table, which would otherwise be
+// duplicated (transposed and unreadable) in the automatic results table.
 func workloadMetricNames(cases []*CaseRun) []string {
 	seen := make(map[string]bool)
 	for _, cr := range cases {
 		for n := range cr.Metrics {
-			if !strings.HasPrefix(n, "stats.") {
+			if !strings.HasPrefix(n, "stats.") && !strings.HasPrefix(n, "kv.") {
 				seen[n] = true
 			}
 		}

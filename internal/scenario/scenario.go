@@ -189,6 +189,11 @@ type Scenario struct {
 	Metric string
 	// Assertions are evaluated over the finished Run.
 	Assertions []Assertion
+	// Report, when non-nil, runs after every cell has finished but before
+	// the automatic tables are built: the hook folds per-rank stashed
+	// state (e.g. kv latency histograms) into case metrics and custom
+	// tables. Metrics it sets are visible to Assertions.
+	Report func(run *Run)
 	// Custom replaces the declarative runner entirely for workloads that
 	// do not fit the cluster+workload mold (e.g. the Table 1 pin-cost
 	// micro-benchmark); it fills the Run's cases and tables itself.
@@ -222,6 +227,9 @@ type CaseRun struct {
 	Case Case
 	// Size is the sweep point (0 when the scenario has no size sweep).
 	Size int
+	// Seed is the simulation seed the cell ran with (the workload derives
+	// per-rank RNG streams from it).
+	Seed int64
 	// Cluster is the live cluster (nil for Custom scenarios that bypass
 	// the declarative runner).
 	Cluster *cluster.Cluster
@@ -236,13 +244,14 @@ type CaseRun struct {
 	// Notes records fault outcomes and anomalies.
 	Notes []string
 
-	// mu guards Metrics, Notes, and buffers: in a sharded run, rank
+	// mu guards Metrics, Notes, buffers, and stash: in a sharded run, rank
 	// bodies and fault injectors touch the case record from different
 	// shard goroutines. (The values written are still deterministic —
 	// the lock only makes the map accesses safe, it is not ordering
 	// anything.)
 	mu      sync.Mutex
 	buffers map[string]bufRef
+	stash   map[string]any
 
 	// chaosRecs holds one recorder per node while a chaos-profile cell
 	// runs (each touched only by its node's engine); chaosSeries is the
@@ -302,6 +311,27 @@ func (cr *CaseRun) Buffer(rank int, name string) (vm.Addr, int, bool) {
 }
 
 func bufKey(rank int, name string) string { return fmt.Sprintf("%d/%s", rank, name) }
+
+// Stash parks an arbitrary per-cell value (e.g. a rank's latency
+// histograms) under a key for the scenario's Report hook to collect after
+// the run. Ranks on different shards may stash concurrently; readers must
+// wait until the cell has finished (the Report hook runs after Run/RunFor
+// returns, so it always may).
+func (cr *CaseRun) Stash(key string, v any) {
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	if cr.stash == nil {
+		cr.stash = make(map[string]any)
+	}
+	cr.stash[key] = v
+}
+
+// Stashed reads a value parked by Stash (nil when absent).
+func (cr *CaseRun) Stashed(key string) any {
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	return cr.stash[key]
+}
 
 // id labels the cell in assertion failure details.
 func (cr *CaseRun) id() string {

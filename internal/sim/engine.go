@@ -264,7 +264,12 @@ type Engine struct {
 	// tests to observe the trace.
 	stepHook func(Time)
 	fired    uint64
-	pending  int // live (scheduled, not fired, not cancelled) events
+	// daemonFired counts the subset of fired events that were daemon work.
+	// Background ticks keep firing up to whatever instant a run loop (or a
+	// shard window boundary) stops at, so their count depends on the shard
+	// layout; foreground-only counts are the shard-invariant quantity.
+	daemonFired uint64
+	pending     int // live (scheduled, not fired, not cancelled) events
 	// daemonPending counts the subset of pending events that are daemon
 	// (background) work; Run/RunUntil stop when pending == daemonPending.
 	daemonPending int
@@ -322,6 +327,12 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 
 // EventsFired reports how many events have executed so far.
 func (e *Engine) EventsFired() uint64 { return e.fired }
+
+// ForegroundEventsFired reports how many non-daemon events have executed.
+// Unlike EventsFired it excludes background ticks (kswapd and friends),
+// whose count depends on where a run or shard window happens to stop, so
+// this is the number that stays identical across shard layouts.
+func (e *Engine) ForegroundEventsFired() uint64 { return e.fired - e.daemonFired }
 
 // Pending reports how many events are scheduled and not yet fired or
 // cancelled. It is O(1): the engine maintains a live-event counter updated
@@ -532,6 +543,7 @@ func (e *Engine) fire(ev *Event) {
 	e.pending--
 	if ev.daemon {
 		e.daemonPending--
+		e.daemonFired++
 	} else {
 		e.lastFgTime = e.now
 	}

@@ -150,6 +150,17 @@ func (ss *ShardSet) EventsFired() uint64 {
 	return n
 }
 
+// ForegroundEventsFired sums the non-daemon events dispatched across all
+// shards — the shard-layout-invariant event count (daemon ticks run up to
+// each layout's final window boundary, so their totals differ).
+func (ss *ShardSet) ForegroundEventsFired() uint64 {
+	var n uint64
+	for _, e := range ss.engines {
+		n += e.ForegroundEventsFired()
+	}
+	return n
+}
+
 // foregroundPending sums the live non-daemon events across shards.
 func (ss *ShardSet) foregroundPending() int {
 	n := 0
