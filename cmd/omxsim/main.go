@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	omxsim list [-markdown]         # registered scenarios (+ policy labels)
+//	omxsim list [-markdown]         # registered scenarios (+ source, policy labels)
 //	omxsim policies                 # registered pinning-policy backends
-//	omxsim run <scenario>... [-policy lbl] [-seed N] [-quick] [-shards N] [-json]
+//	omxsim run <scenario|spec.yaml>... [-policy lbl] [-seed N] [-quick] [-shards N] [-json]
+//	omxsim validate <spec.yaml>...  # strict-parse scenario spec files
 //	omxsim sweep [-quick] [-shards N] [-json]  # run every registered scenario
 //	omxsim bench [-quick] [-pr N] [-out FILE]  # simulator meta-benchmarks
 //
@@ -32,9 +33,12 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `omxsim — Open-MX decoupled-pinning simulator
 
 Usage:
-  omxsim list                list registered scenarios with their policy labels
+  omxsim list                list registered scenarios (source + policy labels)
   omxsim policies            list registered pinning-policy backends
-  omxsim run <scenario>...   run one or more scenarios by name
+  omxsim run <name|file>...  run scenarios by registry name or spec file
+                             (arguments ending in .yaml/.yml load as specs)
+  omxsim validate <file>...  strict-parse and compile spec files without
+                             running them (file:line errors, exit 1 on failure)
   omxsim sweep               run every registered scenario
   omxsim bench               run the simulator meta-benchmark suite and
                              write BENCH_PR<N>.json (ns/op + metrics)
@@ -73,6 +77,8 @@ func main() {
 		listPolicies()
 	case "run":
 		run(os.Args[2:])
+	case "validate":
+		validate(os.Args[2:])
 	case "sweep":
 		sweep(os.Args[2:])
 	case "bench":
@@ -94,23 +100,54 @@ func list(args []string) {
 		return
 	}
 	scenarios := scenario.All()
-	wid := 0
+	wid, swid := 0, 0
 	for _, s := range scenarios {
 		if len(s.Name) > wid {
 			wid = len(s.Name)
 		}
+		if len(s.Source) > swid {
+			swid = len(s.Source)
+		}
 	}
 	for _, s := range scenarios {
-		fmt.Printf("%-*s  %s\n", wid, s.Name, s.Description)
+		fmt.Printf("%-*s  %-*s  %s\n", wid, s.Name, swid, s.Source, s.Description)
 		pols := strings.Join(s.PolicyLabels(), ", ")
 		if pols == "" {
 			pols = "custom sweep (fixed matrix)"
 		}
-		fmt.Printf("%-*s  policies: %s\n", wid, "", pols)
+		fmt.Printf("%-*s  %-*s  policies: %s\n", wid, "", swid, "", pols)
 		if s.Chaos != nil {
-			fmt.Printf("%-*s  chaos: %s\n", wid, "", s.Chaos.Summary())
+			fmt.Printf("%-*s  %-*s  chaos: %s\n", wid, "", swid, "", s.Chaos.Summary())
 		}
 	}
+}
+
+// validate strict-parses and compiles each spec file without running or
+// registering it, reporting every file's verdict before exiting.
+func validate(args []string) {
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "omxsim validate: no spec files given")
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range args {
+		s, err := scenario.ValidateSpecFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			failed = true
+			continue
+		}
+		fmt.Printf("%s: OK (scenario %q, %d cases)\n", path, s.Name, len(s.Cases))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// isSpecPath reports whether a run argument names a spec file rather
+// than a registry entry.
+func isSpecPath(name string) bool {
+	return strings.HasSuffix(name, ".yaml") || strings.HasSuffix(name, ".yml")
 }
 
 // listPolicies prints the pinning-policy backend registry — every name
@@ -165,6 +202,17 @@ func run(args []string) {
 	}
 	var results []*report.Result
 	for _, n := range names {
+		// A .yaml/.yml argument is a spec file: load and register it (a
+		// name collision with a builtin is a hard error), then run it
+		// through the same path as any registered scenario.
+		if isSpecPath(n) {
+			s, err := scenario.LoadAndRegisterSpecFile(n)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "omxsim: %v\n", err)
+				os.Exit(1)
+			}
+			n = s.Name
+		}
 		res, err := scenario.RunByName(n, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "omxsim: %v\n", err)

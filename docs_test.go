@@ -91,6 +91,23 @@ func TestDocsScenarioTable(t *testing.T) {
 	}
 }
 
+// TestDocsExampleSpecs validates every shipped spec file the docs point
+// at — the same strict check CI runs as `omxsim validate examples/*.yaml`.
+func TestDocsExampleSpecs(t *testing.T) {
+	files, err := filepath.Glob("examples/*.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no example specs found under examples/")
+	}
+	for _, f := range files {
+		if _, err := scenario.ValidateSpecFile(f); err != nil {
+			t.Errorf("%s does not validate: %v", f, err)
+		}
+	}
+}
+
 // TestDocsRequiredFiles pins the documentation surface this repo
 // promises: the paper map, the architecture guide, the authoring guide,
 // and their links from the README.

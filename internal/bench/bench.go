@@ -20,6 +20,7 @@ import (
 	"omxsim/internal/kv"
 	"omxsim/internal/mpi"
 	"omxsim/internal/omx"
+	"omxsim/internal/scenario"
 	"omxsim/internal/sim"
 )
 
@@ -251,6 +252,45 @@ func EngineTimerWheelCell(n int) {
 	}
 }
 
+// SpecCompileSpec is the spec file the SpecCompile cell measures: the
+// 1024-node fleet example, the largest shipped spec. The cell only runs
+// when the file is present (i.e. `omxsim bench` from the repo root).
+const SpecCompileSpec = "examples/fleet-1k.yaml"
+
+// SpecCompileCell parses and compiles one spec source — the whole
+// declarative front end: yamlite parse, strict decode, fleet resolution,
+// and compilation down to a runnable Scenario. Returns the resolved node
+// count so the metric map can record the scale.
+func SpecCompileCell(src []byte, file string) int {
+	s, err := scenario.LoadSpecData(src, file)
+	if err != nil {
+		panic(fmt.Sprintf("bench: %s does not compile: %v", file, err))
+	}
+	nodes := 0
+	for _, g := range s.Cluster.Groups {
+		nodes += g.Nodes
+	}
+	if nodes == 0 {
+		nodes = s.Cluster.Nodes
+	}
+	return nodes
+}
+
+// specCompile adapts SpecCompileCell to the suite's metric map.
+func specCompile(src []byte, file string, metrics map[string]float64) {
+	const n = 50
+	start := time.Now()
+	nodes := 0
+	for i := 0; i < n; i++ {
+		nodes = SpecCompileCell(src, file)
+	}
+	wall := time.Since(start)
+	metrics["nodes"] = float64(nodes)
+	if s := wall.Seconds(); s > 0 {
+		metrics["compiles/sec"] = n / s
+	}
+}
+
 // simWallClock adapts SimWallClockCell to the suite's metric map.
 func simWallClock(metrics map[string]float64) {
 	start := time.Now()
@@ -361,6 +401,13 @@ func Run(pr int, quick bool) Report {
 		measure("Figure7Regular1MB", minIters, minWall/2, figure7Regular),
 		measure("KVServeTail", minIters, minWall/2, kvServeTail),
 	}
+	// The declarative front end: parse+compile the 1024-node fleet spec.
+	// Only measured when the file is reachable (bench from the repo root),
+	// so the artifact stays producible from other working directories.
+	if src, err := os.ReadFile(SpecCompileSpec); err == nil {
+		results = append(results, measure("SpecCompile", minIters, minWall/4,
+			func(m map[string]float64) { specCompile(src, SpecCompileSpec, m) }))
+	}
 	rep := Report{
 		PR:         pr,
 		GoOS:       runtime.GOOS,
@@ -438,6 +485,16 @@ func Guard(cur, prior Report, slack float64) error {
 	if _, ok := find(prior, "SimWallClockParallel"); ok {
 		if err := gate("SimWallClockParallel"); err != nil {
 			return err
+		}
+	}
+	// SpecCompile is gated only when both artifacts carry it: the cell is
+	// skipped entirely when examples/fleet-1k.yaml is out of reach, and
+	// pre-spec artifacts (BENCH_PR8.json and earlier) never measured it.
+	if _, ok := find(prior, "SpecCompile"); ok {
+		if _, cok := find(cur, "SpecCompile"); cok {
+			if err := gate("SpecCompile"); err != nil {
+				return err
+			}
 		}
 	}
 	// KVServeTail's p99_us is simulated time, not wall clock: it is exactly

@@ -13,9 +13,29 @@ import (
 	"omxsim/internal/sim"
 )
 
+// NodeGroup is one homogeneous slice of a heterogeneous cluster: Nodes
+// hosts sharing a rank count and memory budget. Groups lay out in
+// declaration order, so node indices (and with them block rank
+// distribution and shard assignment) are deterministic.
+type NodeGroup struct {
+	// Name labels the group in specs and diagnostics.
+	Name string
+	// Nodes is the group's host count.
+	Nodes int
+	// RanksPerNode overrides Config.RanksPerNode for this group
+	// (0 = inherit).
+	RanksPerNode int
+	// Mem overrides Config.Mem for this group's hosts. The zero value
+	// (Frames 0) means unbounded memory, not "inherit" — a fleet's
+	// compute tier is typically unbounded while its storage tier has a
+	// frame budget.
+	Mem omx.MemConfig
+}
+
 // Config describes a cluster.
 type Config struct {
-	// Nodes is the host count (default 2, the paper's testbed).
+	// Nodes is the host count (default 2, the paper's testbed). Ignored
+	// when Groups is set: the group sizes then determine it.
 	Nodes int
 	// RanksPerNode is how many MPI ranks (endpoints) each host runs
 	// (default 1). Ranks are block-distributed: ranks 0..k-1 on node 0.
@@ -34,6 +54,11 @@ type Config struct {
 	// OMX is the per-endpoint Open-MX configuration (pinning policy, cache,
 	// I/OAT, ...).
 	OMX omx.Config
+	// Groups, when non-empty, makes the cluster heterogeneous: nodes lay
+	// out group by group, each group with its own ranks-per-node and
+	// memory budget. Nodes is derived (the sum of group sizes) and the
+	// group's Mem replaces Config.Mem wholesale for its hosts.
+	Groups []NodeGroup
 	// Mem is the per-node physical-memory pressure model: a frame budget
 	// with kswapd watermarks. With Mem.Frames > 0 every node runs a
 	// kswapd and allocations past capacity stall in direct reclaim, so
@@ -99,6 +124,17 @@ type Cluster struct {
 
 // New builds a cluster.
 func New(cfg Config) (*Cluster, error) {
+	// Group sizes determine the node count before anything (the shard
+	// clamp included) reads it.
+	if len(cfg.Groups) > 0 {
+		cfg.Nodes = 0
+		for _, g := range cfg.Groups {
+			if g.Nodes <= 0 {
+				return nil, fmt.Errorf("cluster: group %q has %d nodes", g.Name, g.Nodes)
+			}
+			cfg.Nodes += g.Nodes
+		}
+	}
 	if cfg.Nodes == 0 {
 		cfg.Nodes = 2
 	}
@@ -165,12 +201,35 @@ func New(cfg Config) (*Cluster, error) {
 			})
 		})
 	}
+	// Per-node rank count and memory budget: uniform from Config unless
+	// Groups carves the cluster into heterogeneous slices.
+	rpnOf := make([]int, cfg.Nodes)
+	memOf := make([]omx.MemConfig, cfg.Nodes)
+	for i := range rpnOf {
+		rpnOf[i] = cfg.RanksPerNode
+		memOf[i] = cfg.Mem
+	}
+	if len(cfg.Groups) > 0 {
+		i := 0
+		for _, g := range cfg.Groups {
+			rpn := g.RanksPerNode
+			if rpn == 0 {
+				rpn = cfg.RanksPerNode
+			}
+			for k := 0; k < g.Nodes; k++ {
+				rpnOf[i] = rpn
+				memOf[i] = g.Mem
+				i++
+			}
+		}
+	}
+	rank := 0
 	for n := 0; n < cfg.Nodes; n++ {
 		node := omx.NewNode(engineOf(n), fabric, cfg.Spec, n, cfg.RxCoreIdx)
-		node.ConfigureMemory(cfg.Mem)
+		node.ConfigureMemory(memOf[n])
 		cl.Nodes = append(cl.Nodes, node)
 		var proc *omx.Process
-		for r := 0; r < cfg.RanksPerNode; r++ {
+		for r := 0; r < rpnOf[n]; r++ {
 			coreIdx := (cfg.AppCoreBase + r) % cfg.Spec.Cores
 			if cfg.AppsOnRxCore {
 				coreIdx = cfg.RxCoreIdx
@@ -178,7 +237,7 @@ func New(cfg Config) (*Cluster, error) {
 			if r%cfg.RanksPerProc == 0 {
 				omxCfg := cfg.OMX
 				if cfg.EndpointConfig != nil {
-					omxCfg = cfg.EndpointConfig(n, n*cfg.RanksPerNode+r, omxCfg)
+					omxCfg = cfg.EndpointConfig(n, rank, omxCfg)
 				}
 				var err error
 				proc, err = node.NewProcess(r, coreIdx, omxCfg)
@@ -191,6 +250,7 @@ func New(cfg Config) (*Cluster, error) {
 				return nil, fmt.Errorf("cluster: node %d rank %d: %w", n, r, err)
 			}
 			cl.Endpoints = append(cl.Endpoints, ep)
+			rank++
 		}
 	}
 	cl.World = mpi.NewWorld(engines[0], cl.Endpoints)

@@ -8,8 +8,6 @@
 package scenario
 
 import (
-	"fmt"
-
 	"omxsim/internal/chaos"
 	"omxsim/internal/cluster"
 	"omxsim/internal/core"
@@ -86,16 +84,7 @@ func chaosContract() []Assertion {
 		MetricAtLeast("stats.chaos_faults", 1),
 		MetricAtLeast("stats.chaos_recoveries", 1),
 		MetricPositive("ops_ok"),
-		EachCase("no requests left in flight", func(cr *CaseRun) (bool, string) {
-			v, ok := cr.Metrics["stats.requests_inflight_end"]
-			if !ok {
-				return false, "stats.requests_inflight_end not recorded"
-			}
-			if v != 0 {
-				return false, fmt.Sprintf("%g requests still in flight at end of run", v)
-			}
-			return true, ""
-		}),
+		noInflightRequests(),
 	}
 }
 
@@ -111,13 +100,17 @@ func labelCases(labels ...string) func(cr *CaseRun) bool {
 	}
 }
 
-func init() {
-	// chaos-crash-recover: Poisson node crashes mid-transfer. A crash
-	// takes the NIC dark and releases every pinned page; peers must
-	// detect the silence (exponential-backoff probing bounded by
-	// PeerDeadTimeout), abort with a typed error, and re-establish once
-	// the node restarts.
-	MustRegister(&Scenario{
+// The chaos-* scenarios register from their embedded specs
+// (spec_builtin.go); the legacy constructors below stay, unregistered,
+// as the reference side of the spec-equivalence tests.
+
+// legacyChaosCrashRecover: Poisson node crashes mid-transfer. A crash
+// takes the NIC dark and releases every pinned page; peers must
+// detect the silence (exponential-backoff probing bounded by
+// PeerDeadTimeout), abort with a typed error, and re-establish once
+// the node restarts.
+func legacyChaosCrashRecover() *Scenario {
+	return &Scenario{
 		Name:        "chaos-crash-recover",
 		Description: "4-node pairwise ping-pong under Poisson node crashes: typed peer-dead aborts, pins released, peers re-establish after restart",
 		Cluster: cluster.Config{
@@ -146,13 +139,15 @@ func init() {
 			MetricPositive("ops_recovered"),
 			PinAccountingBalanced(),
 		),
-	})
+	}
+}
 
-	// chaos-degraded-link: latency inflation, bandwidth throttling, frame
-	// loss, and short full-partition windows. The windows stay below
-	// PeerDeadTimeout, so the protocol mostly rides them out with
-	// retransmits and re-requests instead of declaring peers dead.
-	MustRegister(&Scenario{
+// legacyChaosDegradedLink: latency inflation, bandwidth throttling,
+// frame loss, and short full-partition windows. The windows stay below
+// PeerDeadTimeout, so the protocol mostly rides them out with
+// retransmits and re-requests instead of declaring peers dead.
+func legacyChaosDegradedLink() *Scenario {
+	return &Scenario{
 		Name:        "chaos-degraded-link",
 		Description: "4-node ping-pong through link degradation and partition windows: retransmit/re-request recovery without peer-death",
 		Cluster: cluster.Config{
@@ -189,14 +184,17 @@ func init() {
 			MetricAtLeast("stats.retransmits", 1),
 			PinAccountingBalanced(),
 		),
-	})
+	}
+}
 
-	// chaos-budget-shrink: the frame budget collapses under the workload
-	// (kswapd suddenly has a lower watermark) and recovers. The pinned
-	// per-operation backend must repin its buffers each round, so the
-	// shrink windows surface as pin failures and typed aborts; ODP never
-	// pins, absorbs the same windows as device faults, and keeps going.
-	MustRegister(&Scenario{
+// legacyChaosBudgetShrink: the frame budget collapses under the
+// workload (kswapd suddenly has a lower watermark) and recovers. The
+// pinned per-operation backend must repin its buffers each round, so
+// the shrink windows surface as pin failures and typed aborts; ODP
+// never pins, absorbs the same windows as device faults, and keeps
+// going.
+func legacyChaosBudgetShrink() *Scenario {
+	return &Scenario{
 		Name:        "chaos-budget-shrink",
 		Description: "2-node streaming under runtime frame-budget collapse: pin backend surfaces pin failures, ODP absorbs the shrink as faults",
 		Cluster: cluster.Config{
@@ -222,30 +220,8 @@ func init() {
 		},
 		Workload: chaosWorkload(20, 256*1024, 20*sim.Millisecond),
 		Assertions: append(chaosContract(),
-			EachCaseWhere("pin backend surfaces shrink as pin failures",
-				labelCases("pin"),
-				func(cr *CaseRun) (bool, string) {
-					if cr.Metrics["stats.pin_failures"] < 1 {
-						return false, fmt.Sprintf("pin_failures = %g (shrink never hit the pin path)",
-							cr.Metrics["stats.pin_failures"])
-					}
-					if cr.Metrics["ops_err"] < 1 {
-						return false, fmt.Sprintf("ops_err = %g (pin failures never surfaced)",
-							cr.Metrics["ops_err"])
-					}
-					return true, ""
-				}),
-			EachCaseWhere("odp absorbs the shrink as device faults",
-				labelCases("odp"),
-				func(cr *CaseRun) (bool, string) {
-					if cr.Metrics["stats.odp_faults"] < 1 {
-						return false, fmt.Sprintf("odp_faults = %g", cr.Metrics["stats.odp_faults"])
-					}
-					if f := cr.Metrics["stats.pin_failures"]; f != 0 {
-						return false, fmt.Sprintf("pin_failures = %g (ODP must never pin)", f)
-					}
-					return true, ""
-				}),
+			pinSurfacesShrink(),
+			odpAbsorbsShrink(),
 		),
-	})
+	}
 }

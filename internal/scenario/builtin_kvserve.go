@@ -200,13 +200,17 @@ func kvCleanRun() Assertion {
 	})
 }
 
-func init() {
-	// kvserve-mix: the family's baseline — 2 storage servers, 2 client
-	// endpoints, a 70/30 read/write mix at moderate open-loop load, no
-	// memory pressure. Every backend must serve the same schedule with
-	// zero rejections and tails inside the SLO; the cell exists to give
-	// the pressure scenarios an unloaded reference and the determinism
-	// gates a 4-node kv topology.
+// The kvserve-* scenarios register from their embedded specs
+// (spec_builtin.go); the legacy constructors below stay, unregistered,
+// as the reference side of the spec-equivalence tests.
+
+// legacyKVServeMix: the family's baseline — 2 storage servers, 2 client
+// endpoints, a 70/30 read/write mix at moderate open-loop load, no
+// memory pressure. Every backend must serve the same schedule with
+// zero rejections and tails inside the SLO; the cell exists to give
+// the pressure scenarios an unloaded reference and the determinism
+// gates a 4-node kv topology.
+func legacyKVServeMix() *Scenario {
 	mixCfg := kv.Config{
 		Servers:    2,
 		Keys:       64,
@@ -217,7 +221,7 @@ func init() {
 			{Name: "t0", Ops: 150, Rate: 8000, GetFrac: 0.7, MaxInflight: 16},
 		},
 	}
-	MustRegister(&Scenario{
+	return &Scenario{
 		Name:        "kvserve-mix",
 		Description: "KV serving baseline: open-loop Zipfian get/put mix against 2 storage servers, HDR tail percentiles per backend, no memory pressure",
 		Cluster: cluster.Config{
@@ -240,14 +244,16 @@ func init() {
 		}, KVSLOBlock(
 			KVSLO{Tenant: "t0", P50US: 400, P99US: 1500, P999US: 4000},
 		)...),
-	})
+	}
+}
 
-	// kvserve-pressure: the headline cell. Both servers share one node
-	// whose frame budget the value heaps plus a churn hog overcommit, so
-	// kswapd and direct reclaim run while the tier serves. The pinned
-	// backend holds its hot value slots against reclaim; ODP lets them
-	// go and pays device faults and swap-ins on the get path — visible
-	// as a p99 premium, not as a mean-throughput delta.
+// legacyKVServePressure: the headline cell. Both servers share one node
+// whose frame budget the value heaps plus a churn hog overcommit, so
+// kswapd and direct reclaim run while the tier serves. The pinned
+// backend holds its hot value slots against reclaim; ODP lets them
+// go and pays device faults and swap-ins on the get path — visible
+// as a p99 premium, not as a mean-throughput delta.
+func legacyKVServePressure() *Scenario {
 	pressureCfg := kv.Config{
 		Servers:     2,
 		Keys:        48,
@@ -260,7 +266,7 @@ func init() {
 			{Name: "t0", Ops: 140, Rate: 6000, GetFrac: 0.8, MaxInflight: 24},
 		},
 	}
-	MustRegister(&Scenario{
+	return &Scenario{
 		Name:        "kvserve-pressure",
 		Description: "KV serving under emergent memory pressure: reclaim steals value-heap pages, pinned backends hold their tails, ODP pays a p99 premium",
 		Cluster: cluster.Config{
@@ -280,25 +286,21 @@ func init() {
 			PinAccountingBalanced(),
 			kvCleanRun(),
 			MetricAtLeast("stats.pgsteal", 1),
-			EachCaseWhere("odp absorbs reclaim as device faults", PolicyCases("odp"),
-				func(cr *CaseRun) (bool, string) {
-					if cr.Metrics["stats.odp_faults"] < 1 {
-						return false, fmt.Sprintf("odp_faults = %g", cr.Metrics["stats.odp_faults"])
-					}
-					return true, ""
-				}),
+			odpFaultVisible(),
 			kvTailDifferential("kv.get.p99_us", "on-demand", "odp", 1.15),
 		}, KVSLOBlock(
 			KVSLO{Tenant: "t0", P99US: 20000, P999US: 25000},
 		)...),
-	})
+	}
+}
 
-	// kvserve-multitenant: three tenants with distinct traffic contracts
-	// share three server ranks on one budgeted node. The premium tenant
-	// buys a strict tail SLO, the standard tenant a looser one, and the
-	// batch tenant arrives far beyond its admission bound — its load is
-	// shed as typed ErrOverload rejections instead of destroying the
-	// others' tails.
+// legacyKVServeMultitenant: three tenants with distinct traffic
+// contracts share three server ranks on one budgeted node. The premium
+// tenant buys a strict tail SLO, the standard tenant a looser one, and
+// the batch tenant arrives far beyond its admission bound — its load is
+// shed as typed ErrOverload rejections instead of destroying the
+// others' tails.
+func legacyKVServeMultitenant() *Scenario {
 	mtCfg := kv.Config{
 		Servers:     3,
 		Keys:        36,
@@ -317,7 +319,7 @@ func init() {
 			{Name: "batch", Ops: 200, Rate: 20000, GetFrac: 0.5, MaxInflight: 3},
 		},
 	}
-	MustRegister(&Scenario{
+	return &Scenario{
 		Name:        "kvserve-multitenant",
 		Description: "3 tenants, 3 budgeted servers: per-tenant tail SLOs, admission control sheds the abusive tenant's overload as typed rejections",
 		Cluster: cluster.Config{
@@ -347,5 +349,5 @@ func init() {
 			KVSLO{Tenant: "standard", P99US: 10000, P999US: 15000},
 			KVSLO{Tenant: "batch", MinRejects: 1, MaxRejectFrac: 0.95},
 		)...),
-	})
+	}
 }

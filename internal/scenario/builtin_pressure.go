@@ -75,13 +75,17 @@ func emergentSteals() Assertion {
 	})
 }
 
-func init() {
-	// pressure-churn: steady-state churn under a tight budget with a
-	// single decoupled-pinning case — the focus is the reclaim machinery
-	// itself: kswapd wakes on the watermark between rounds, direct
-	// reclaim stalls inside the rounds, pages cycle through swap and
-	// back, and the ledger still balances.
-	MustRegister(&Scenario{
+// The pressure-* scenarios register from their embedded specs
+// (spec_builtin.go); the legacy constructors below stay, unregistered,
+// as the reference side of the spec-equivalence tests.
+
+// legacyPressureChurn: steady-state churn under a tight budget with a
+// single decoupled-pinning case — the focus is the reclaim machinery
+// itself: kswapd wakes on the watermark between rounds, direct
+// reclaim stalls inside the rounds, pages cycle through swap and
+// back, and the ledger still balances.
+func legacyPressureChurn() *Scenario {
+	return &Scenario{
 		Name:        "pressure-churn",
 		Description: "Steady-state allocator churn against a per-node frame budget: kswapd watermark reclaim plus direct-reclaim stalls, injector-free",
 		Cluster: cluster.Config{
@@ -101,24 +105,18 @@ func init() {
 			MetricAtLeast("stats.kswapd_runs", 1),
 			MetricAtLeast("stats.direct_reclaim_stalls", 1),
 			MetricAtLeast("stats.swap_ins", 1),
-			EachCase("frame budget holds", func(cr *CaseRun) (bool, string) {
-				for _, n := range cr.Cluster.Nodes {
-					if used := n.Phys.PeakFrames(); used > n.Phys.Capacity() {
-						return false, fmt.Sprintf("node %d peaked at %d frames (capacity %d)",
-							n.ID, used, n.Phys.Capacity())
-					}
-				}
-				return true, ""
-			}),
+			frameBudgetHolds(),
 		},
-	})
+	}
+}
 
-	// pressure-policies: the paper's unreclaimable-pinned-pages claim,
-	// measured. Same emergent pressure for every backend; the pinned
-	// backends hold their comm working set (reclaim scans it, counts a
-	// resist, steals churn pages instead) while ODP lets the comm buffer
-	// be reclaimed and absorbs the pressure as device page faults.
-	MustRegister(&Scenario{
+// legacyPressurePolicies: the paper's unreclaimable-pinned-pages claim,
+// measured. Same emergent pressure for every backend; the pinned
+// backends hold their comm working set (reclaim scans it, counts a
+// resist, steals churn pages instead) while ODP lets the comm buffer
+// be reclaimed and absorbs the pressure as device page faults.
+func legacyPressurePolicies() *Scenario {
+	return &Scenario{
 		Name:        "pressure-policies",
 		Description: "Pinned vs ODP vs pin-ahead under emergent reclaim: pinned working sets resist, ODP absorbs reclaim as faults",
 		Cluster: cluster.Config{
@@ -140,40 +138,19 @@ func init() {
 			PinAccountingBalanced(),
 			emergentSteals(),
 			MetricAtLeast("stats.swap_ins", 1),
-			EachCaseWhere("pinned backends hold their working set",
-				PolicyCases("on-demand", "overlapped", "pin-ahead"),
-				func(cr *CaseRun) (bool, string) {
-					if cr.Metrics["stats.pinned_resists"] < 1 {
-						return false, fmt.Sprintf("pinned_resists = %g (reclaim never hit the pinned set)",
-							cr.Metrics["stats.pinned_resists"])
-					}
-					if f := cr.Metrics["stats.pin_failures"]; f != 0 {
-						return false, fmt.Sprintf("pin_failures = %g", f)
-					}
-					if rp := cr.Metrics["stats.repins"]; rp != 0 {
-						return false, fmt.Sprintf("repins = %g: reclaim invalidated a pinned region", rp)
-					}
-					return true, ""
-				}),
-			EachCaseWhere("odp absorbs reclaim as device faults", PolicyCases("odp"),
-				func(cr *CaseRun) (bool, string) {
-					if cr.Metrics["stats.odp_faults"] < 1 {
-						return false, fmt.Sprintf("odp_faults = %g", cr.Metrics["stats.odp_faults"])
-					}
-					if p := cr.Metrics["stats.pages_pinned"]; p != 0 {
-						return false, fmt.Sprintf("pages_pinned = %g", p)
-					}
-					return true, ""
-				}),
+			pinnedWorkingSet(),
+			odpAbsorbsReclaim(),
 		},
-	})
+	}
+}
 
-	// pressure-multitenant: three tenants per node share one frame
-	// budget, so one tenant's churn steals another's cold pages — the
-	// cross-process contention a per-endpoint pinned-page limit cannot
-	// model. The churn loop allocates faster than the kswapd period, so
-	// direct-reclaim stalls are guaranteed on the allocation path.
-	MustRegister(&Scenario{
+// legacyPressureMultitenant: three tenants per node share one frame
+// budget, so one tenant's churn steals another's cold pages — the
+// cross-process contention a per-endpoint pinned-page limit cannot
+// model. The churn loop allocates faster than the kswapd period, so
+// direct-reclaim stalls are guaranteed on the allocation path.
+func legacyPressureMultitenant() *Scenario {
+	return &Scenario{
 		Name:        "pressure-multitenant",
 		Description: "3 tenants per node contending for one frame budget: cross-process reclaim, direct-reclaim stalls, pinned sets intact",
 		Cluster: cluster.Config{
@@ -194,14 +171,7 @@ func init() {
 			PinAccountingBalanced(),
 			emergentSteals(),
 			MetricAtLeast("stats.direct_reclaim_stalls", 1),
-			EachCaseWhere("pinned tenants keep their comm buffers",
-				PolicyCases("on-demand"),
-				func(cr *CaseRun) (bool, string) {
-					if f := cr.Metrics["stats.pin_failures"]; f != 0 {
-						return false, fmt.Sprintf("pin_failures = %g", f)
-					}
-					return true, ""
-				}),
+			pinnedTenantBuffers(),
 		},
-	})
+	}
 }

@@ -1,0 +1,62 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// loadFleet1k loads the shipped 1000-node example spec without touching
+// the registry, so the test can run it under arbitrary options.
+func loadFleet1k(t *testing.T) *Scenario {
+	t.Helper()
+	path := filepath.Join("..", "..", "examples", "fleet-1k.yaml")
+	if _, err := os.Stat(path); err != nil {
+		t.Skipf("examples/fleet-1k.yaml not present: %v", err)
+	}
+	s, err := LoadSpecFile(path)
+	if err != nil {
+		t.Fatalf("load fleet-1k: %v", err)
+	}
+	return s
+}
+
+// TestFleet1kShardInvariance runs the 1024-node fleet spec at 1 and 4
+// shards and demands byte-identical report JSON — the determinism gate
+// at fleet scale.
+func TestFleet1kShardInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet-scale run skipped in -short mode")
+	}
+	var want []byte
+	for _, shards := range []int{1, 4} {
+		s := loadFleet1k(t)
+		got := scenarioBytes(t, s, Options{Quick: true, Shards: shards})
+		if want == nil {
+			want = got
+			continue
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("fleet-1k report differs between 1 and %d shards", shards)
+		}
+	}
+}
+
+// TestFleet1kShape spot-checks the compiled fleet: the weighted groups
+// must resolve to 1024 nodes split 3:1 between compute and storage.
+func TestFleet1kShape(t *testing.T) {
+	s := loadFleet1k(t)
+	total := 0
+	byName := map[string]int{}
+	for _, g := range s.Cluster.Groups {
+		total += g.Nodes
+		byName[g.Name] = g.Nodes
+	}
+	if total < 1000 {
+		t.Fatalf("fleet resolves to %d nodes, want >= 1000", total)
+	}
+	if byName["compute"] != 768 || byName["storage"] != 256 {
+		t.Fatalf("group split wrong: %v", byName)
+	}
+}

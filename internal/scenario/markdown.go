@@ -32,14 +32,14 @@ func (s *Scenario) PolicyLabels() []string {
 // -markdown` regenerates it; the docs CI check keeps the two in sync).
 func MarkdownTable() string {
 	var b strings.Builder
-	b.WriteString("| scenario | policies | description |\n")
-	b.WriteString("|---|---|---|\n")
+	b.WriteString("| scenario | source | policies | description |\n")
+	b.WriteString("|---|---|---|---|\n")
 	for _, s := range All() {
 		pols := strings.Join(s.PolicyLabels(), ", ")
 		if pols == "" {
 			pols = "*custom sweep*"
 		}
-		fmt.Fprintf(&b, "| `%s` | %s | %s |\n", s.Name, pols, s.Description)
+		fmt.Fprintf(&b, "| `%s` | %s | %s | %s |\n", s.Name, s.Source, pols, s.Description)
 	}
 	return b.String()
 }

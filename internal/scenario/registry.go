@@ -9,15 +9,35 @@ import (
 
 var registry = make(map[string]*Scenario)
 
-// Register adds a scenario to the package registry. It rejects empty or
-// duplicate names and scenarios with neither a Workload nor a Custom
-// runner.
+// Scenario sources: where a registry entry came from. `omxsim list`
+// shows the source column; duplicate-name errors name both sides.
+const (
+	// SourceBuiltinGo is a scenario registered by Go code in this package
+	// (the default when Source is left empty).
+	SourceBuiltinGo = "builtin-go"
+	// SourceBuiltinSpec is a scenario compiled from an embedded spec file
+	// (internal/scenario/specs/*.yaml).
+	SourceBuiltinSpec = "builtin-spec"
+	// SourceFile is a scenario loaded from a user spec file at run time
+	// (`omxsim run path/to/spec.yaml`).
+	SourceFile = "file"
+)
+
+// Register adds a scenario to the package registry. It rejects empty
+// names, scenarios with neither a Workload nor a Custom runner, and —
+// hard, with both sources named — duplicate names: a user spec file may
+// not shadow a builtin, and two builtins claiming one name is a
+// programming error, never a silent last-write-wins.
 func Register(s *Scenario) error {
 	if s == nil || s.Name == "" {
 		return fmt.Errorf("scenario: missing name")
 	}
-	if _, dup := registry[s.Name]; dup {
-		return fmt.Errorf("scenario: duplicate name %q", s.Name)
+	if s.Source == "" {
+		s.Source = SourceBuiltinGo
+	}
+	if prev, dup := registry[s.Name]; dup {
+		return fmt.Errorf("scenario: duplicate name %q: already registered from %s, refusing the %s registration (rename the scenario)",
+			s.Name, prev.Source, s.Source)
 	}
 	if s.Workload == nil && s.Custom == nil {
 		return fmt.Errorf("scenario %q: neither Workload nor Custom set", s.Name)

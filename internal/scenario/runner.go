@@ -152,6 +152,7 @@ func (s *Scenario) runCell(run *Run, c Case, size int) (*CaseRun, error) {
 		Case:       c,
 		Size:       size,
 		PolicyName: c.OMX.PolicyLabel(),
+		Quick:      run.Opts.Quick,
 		Metrics:    make(map[string]float64),
 		buffers:    make(map[string]bufRef),
 	}

@@ -160,6 +160,10 @@ type Scenario struct {
 	Name string
 	// Description is one line for omxsim list and report headers.
 	Description string
+	// Source records where the scenario came from (SourceBuiltinGo,
+	// SourceBuiltinSpec, SourceFile). Register defaults it to
+	// SourceBuiltinGo; the spec loader stamps the other two.
+	Source string
 	// Cluster is the base cluster shape; the runner fills OMX and Seed per
 	// case and applies Case.Tweak.
 	Cluster cluster.Config
@@ -241,6 +245,10 @@ type CaseRun struct {
 	// Completed is false when the budget expired with ranks still
 	// blocked.
 	Completed bool
+	// Quick mirrors Options.Quick for workloads that scale their own
+	// round counts (spec workloads with quick_* overrides). It is not
+	// serialized, so it cannot perturb report equivalence.
+	Quick bool
 	// Notes records fault outcomes and anomalies.
 	Notes []string
 

@@ -32,9 +32,18 @@ func TestRegisterRejectsDuplicates(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer unregister("t-dup")
-	err := Register(tinyScenario("t-dup"))
+	dup := tinyScenario("t-dup")
+	dup.Source = SourceFile
+	err := Register(dup)
 	if err == nil || !strings.Contains(err.Error(), "duplicate") {
 		t.Fatalf("duplicate registration not rejected: %v", err)
+	}
+	// The error must name both sides: the survivor's source and the
+	// rejected registration's.
+	for _, want := range []string{SourceBuiltinGo, SourceFile} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("duplicate error does not name source %q: %v", want, err)
+		}
 	}
 }
 

@@ -1,0 +1,36 @@
+// spec_builtin.go — the builtins that ship as specs. The pingpong,
+// pressure-*, chaos-*, and kvserve-* families register from the YAML
+// documents embedded under specs/, exercising the spec decoder and
+// compiler on every program start; their legacy Go constructors remain
+// (unregistered) in builtin*.go as the reference side of the
+// spec-equivalence tests, which prove both paths produce byte-identical
+// reports.
+package scenario
+
+import (
+	"embed"
+	"fmt"
+)
+
+//go:embed specs/*.yaml
+var builtinSpecFS embed.FS
+
+func init() {
+	entries, err := builtinSpecFS.ReadDir("specs")
+	if err != nil {
+		panic(fmt.Sprintf("scenario: embedded specs: %v", err))
+	}
+	for _, e := range entries {
+		path := "specs/" + e.Name()
+		data, err := builtinSpecFS.ReadFile(path)
+		if err != nil {
+			panic(fmt.Sprintf("scenario: %s: %v", path, err))
+		}
+		s, err := LoadSpecData(data, path)
+		if err != nil {
+			panic(fmt.Sprintf("scenario: embedded spec %s: %v", path, err))
+		}
+		s.Source = SourceBuiltinSpec
+		MustRegister(s)
+	}
+}

@@ -1,0 +1,75 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+
+	"omxsim/internal/report"
+)
+
+// legacyTwins maps each spec-registered builtin to its retired Go
+// constructor. The equivalence gate runs both sides and demands
+// byte-identical report JSON — the proof that the spec decoder +
+// compiler lower onto exactly the machinery the Go scenarios used.
+var legacyTwins = map[string]func() *Scenario{
+	"pingpong":             legacyPingPong,
+	"pressure-churn":       legacyPressureChurn,
+	"pressure-policies":    legacyPressurePolicies,
+	"pressure-multitenant": legacyPressureMultitenant,
+	"chaos-crash-recover":  legacyChaosCrashRecover,
+	"chaos-degraded-link":  legacyChaosDegradedLink,
+	"chaos-budget-shrink":  legacyChaosBudgetShrink,
+	"kvserve-mix":          legacyKVServeMix,
+	"kvserve-pressure":     legacyKVServePressure,
+	"kvserve-multitenant":  legacyKVServeMultitenant,
+}
+
+// scenarioBytes runs an unregistered scenario and serialises the result
+// the way resultBytes does for registered ones.
+func scenarioBytes(t *testing.T, s *Scenario, opts Options) []byte {
+	t.Helper()
+	res, err := s.Run(opts)
+	if err != nil {
+		t.Fatalf("%s (shards=%d): %v", s.Name, opts.Shards, err)
+	}
+	if res.Failed() {
+		for _, a := range res.Assertions {
+			if !a.Passed {
+				t.Errorf("%s (shards=%d): assertion %q failed: %s", s.Name, opts.Shards, a.Name, a.Detail)
+			}
+		}
+		t.FailNow()
+	}
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSpecEquivalence is the two-path gate: for every ported builtin,
+// the registered spec-compiled scenario and its legacy Go constructor
+// must produce byte-identical report JSON, at one shard and at several.
+func TestSpecEquivalence(t *testing.T) {
+	for name, legacy := range legacyTwins {
+		name, legacy := name, legacy
+		t.Run(name, func(t *testing.T) {
+			spec, ok := Get(name)
+			if !ok {
+				t.Fatalf("scenario %q not registered", name)
+			}
+			if spec.Source != SourceBuiltinSpec {
+				t.Fatalf("scenario %q: source = %q, want %q", name, spec.Source, SourceBuiltinSpec)
+			}
+			for _, shards := range []int{1, 4} {
+				opts := Options{Quick: true, Shards: shards}
+				want := scenarioBytes(t, legacy(), opts)
+				got := resultBytes(t, name, opts)
+				if !bytes.Equal(want, got) {
+					t.Fatalf("%s (shards=%d): spec run differs from legacy Go run:\n--- legacy ---\n%s\n--- spec ---\n%s",
+						name, shards, want, got)
+				}
+			}
+		})
+	}
+}

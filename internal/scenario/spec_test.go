@@ -1,0 +1,255 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// parseErr parses src and demands an error mentioning every fragment,
+// with the file:line prefix the decoder promises.
+func parseErr(t *testing.T, src string, fragments ...string) {
+	t.Helper()
+	_, err := ParseSpec([]byte(src), "test.yaml")
+	if err == nil {
+		t.Fatalf("spec accepted, want error containing %q:\n%s", fragments, src)
+	}
+	if !strings.HasPrefix(err.Error(), "test.yaml:") {
+		t.Fatalf("error lacks file:line context: %v", err)
+	}
+	for _, f := range fragments {
+		if !strings.Contains(err.Error(), f) {
+			t.Fatalf("error %q does not mention %q", err, f)
+		}
+	}
+}
+
+const minimalSpec = `name: t-spec
+description: test
+cases:
+  - label: cache
+    policy: on-demand
+    cache: true
+sizes: [64KiB]
+metric: mbps
+workload:
+  kind: pingpong
+assertions:
+  - positive: mbps
+  - completed: true
+`
+
+func TestParseSpecMinimal(t *testing.T) {
+	sp, err := ParseSpec([]byte(minimalSpec), "test.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sp.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "t-spec" || len(s.Cases) != 1 || s.Cases[0].Label != "cache" {
+		t.Fatalf("compiled scenario wrong: %+v", s)
+	}
+	if len(s.Sizes) != 1 || s.Sizes[0] != 64*1024 {
+		t.Fatalf("sizes wrong: %v", s.Sizes)
+	}
+	if len(s.Assertions) != 2 {
+		t.Fatalf("assertions wrong: %d", len(s.Assertions))
+	}
+}
+
+func TestParseSpecStrictness(t *testing.T) {
+	parseErr(t, "name: x\nbogus: 1\n", `unknown field "bogus"`, "top-level fields")
+	parseErr(t, strings.Replace(minimalSpec, "policy: on-demand", "policy: magic", 1),
+		`unknown policy "magic"`, "pin-each-comm")
+	parseErr(t, strings.Replace(minimalSpec, "cache: true", "turbo: true", 1),
+		`unknown field "turbo"`)
+	parseErr(t, strings.Replace(minimalSpec, "- completed: true",
+		"- label: cache\n    policy: odp", 1), "no type key")
+	parseErr(t, strings.Replace(minimalSpec, "- completed: true",
+		"- completed: true\n    positive: mbps", 1), "exactly one assertion")
+	parseErr(t, strings.Replace(minimalSpec, "- completed: true",
+		"- check: no-such-check", 1), `unknown check "no-such-check"`, "emergent-steals")
+	parseErr(t, strings.Replace(minimalSpec, "- completed: true",
+		"- at_least: mbps", 1), "needs a `value` field")
+	parseErr(t, strings.Replace(minimalSpec, "- completed: true",
+		"- slo: t0\n    p99_us: 10", 1), "SLO assertions need a kv workload")
+}
+
+func TestParseSpecDuplicateCaseLabel(t *testing.T) {
+	src := `name: t-dupcase
+cases:
+  - label: cache
+    policy: on-demand
+  - label: cache
+    policy: odp
+sizes: [64KiB]
+workload:
+  kind: pingpong
+`
+	parseErr(t, src, "duplicate case label")
+}
+
+func TestParseSpecRequiresSizesForSweepWorkloads(t *testing.T) {
+	src := `name: t-nosizes
+cases:
+  - label: cache
+    policy: on-demand
+workload:
+  kind: pingpong
+`
+	parseErr(t, src, "add a `sizes` list")
+}
+
+func TestParseSpecClusterFleetExclusive(t *testing.T) {
+	src := `name: t-both
+cluster:
+  nodes: 2
+fleet:
+  total_nodes: 8
+  groups:
+    - name: all
+      weight: 1
+workload:
+  kind: pressure
+  rounds: 1
+  comm_bytes: 64KiB
+  churn_bytes: 64KiB
+`
+	parseErr(t, src, "sets both `cluster`", "and `fleet`")
+}
+
+func TestParseSpecSLOTenantCrossReference(t *testing.T) {
+	src := `name: t-slo
+cluster:
+  nodes: 4
+cases:
+  - label: cache
+    policy: on-demand
+    cache: true
+workload:
+  kind: kv
+  servers: 2
+  keys: 8
+  value_bytes: 4KiB
+  tenants:
+    - name: t0
+      ops: 10
+assertions:
+  - slo: nobody
+    p99_us: 100
+`
+	parseErr(t, src, `slo "nobody"`, "tenants: t0")
+}
+
+// TestFleetResolve checks the weight allocation: fixed counts are taken
+// first, the remainder splits by weight with largest-remainder rounding,
+// and the group order decides ties — all deterministic.
+func TestFleetResolve(t *testing.T) {
+	f := &fleetSpec{
+		total: 100,
+		groups: []fleetGroup{
+			{name: "compute", weight: 3},
+			{name: "storage", weight: 1},
+			{name: "infra", nodes: 4},
+		},
+	}
+	groups, err := f.resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int{}
+	total := 0
+	for _, g := range groups {
+		got[g.Name] = g.Nodes
+		total += g.Nodes
+	}
+	if total != 100 {
+		t.Fatalf("resolved %d nodes, want 100: %v", total, got)
+	}
+	if got["infra"] != 4 || got["compute"] != 72 || got["storage"] != 24 {
+		t.Fatalf("allocation wrong: %v", got)
+	}
+
+	// A group that resolves to zero nodes is an error, not a silent drop.
+	zero := &fleetSpec{
+		total: 2,
+		groups: []fleetGroup{
+			{name: "big", weight: 1000},
+			{name: "tiny", weight: 1},
+		},
+	}
+	if _, err := zero.resolve(); err == nil || !strings.Contains(err.Error(), "tiny") {
+		t.Fatalf("zero-node group not rejected: %v", err)
+	}
+
+	// Explicit counts beyond the total are an error.
+	over := &fleetSpec{total: 3, groups: []fleetGroup{{name: "a", nodes: 5}}}
+	if _, err := over.resolve(); err == nil {
+		t.Fatal("overcommitted fixed groups accepted")
+	}
+}
+
+// TestStartupDelayDeterministic checks the startup schedule is a pure
+// function of (spec, node, total, seed) and stays inside its spread.
+func TestStartupDelayDeterministic(t *testing.T) {
+	st := startupSpec{pattern: startWave, spread: 1000, waves: 4, jitter: 0.5}
+	for node := 0; node < 16; node++ {
+		a := startupDelay(st, node, 16, 42)
+		b := startupDelay(st, node, 16, 42)
+		if a != b {
+			t.Fatalf("node %d: delay not deterministic (%v vs %v)", node, a, b)
+		}
+		if a < 0 {
+			t.Fatalf("node %d: negative delay %v", node, a)
+		}
+	}
+	if startupDelay(st, 0, 16, 42) == startupDelay(st, 0, 16, 43) {
+		t.Fatal("jitter ignores the seed")
+	}
+	// Waves must actually stagger: the last node starts after the first.
+	if startupDelay(startupSpec{pattern: startWave, spread: 1000, waves: 4}, 15, 16, 1) <=
+		startupDelay(startupSpec{pattern: startWave, spread: 1000, waves: 4}, 0, 16, 1) {
+		t.Fatal("wave pattern does not stagger")
+	}
+}
+
+func TestLoadAndRegisterSpecFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t-file-spec.yaml")
+	src := strings.Replace(minimalSpec, "name: t-spec", "name: t-file-spec", 1)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadAndRegisterSpecFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer unregister("t-file-spec")
+	if s.Source != SourceFile {
+		t.Fatalf("source = %q, want %q", s.Source, SourceFile)
+	}
+	if _, ok := Get("t-file-spec"); !ok {
+		t.Fatal("spec file not registered")
+	}
+	// Shadowing a registered name is a hard error.
+	if _, err := LoadAndRegisterSpecFile(path); err == nil ||
+		!strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("shadowing registration not rejected: %v", err)
+	}
+}
+
+func TestValidateSpecFileCollision(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "clash.yaml")
+	src := strings.Replace(minimalSpec, "name: t-spec", "name: pingpong", 1)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateSpecFile(path); err == nil ||
+		!strings.Contains(err.Error(), "collides") {
+		t.Fatalf("registry collision not reported: %v", err)
+	}
+}

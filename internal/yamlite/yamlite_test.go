@@ -1,0 +1,129 @@
+package yamlite
+
+import (
+	"strings"
+	"testing"
+)
+
+func parseOK(t *testing.T, src string) *Node {
+	t.Helper()
+	n, err := Parse([]byte(src), "test.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestParseNestedDocument(t *testing.T) {
+	n := parseOK(t, `
+name: fleet
+description: "a: quoted description"  # trailing comment
+cluster:
+  nodes: 4
+  link:
+    prop_delay_us: 2
+sizes: [256KiB, 1MiB]
+cases:
+  - label: cache
+    policy: on-demand
+    cache: true
+  - label: odp
+    policy: odp
+events:
+  -
+    at_us: 100
+    kind: crash
+`)
+	if n.Kind != Map {
+		t.Fatalf("root kind = %v", n.Kind)
+	}
+	if v, _ := n.Get("name"); v.Value != "fleet" {
+		t.Fatalf("name = %q", v.Value)
+	}
+	if v, _ := n.Get("description"); v.Value != "a: quoted description" {
+		t.Fatalf("description = %q", v.Value)
+	}
+	cl, ok := n.Get("cluster")
+	if !ok || cl.Kind != Map {
+		t.Fatalf("cluster = %+v", cl)
+	}
+	link, _ := cl.Get("link")
+	if v, _ := link.Get("prop_delay_us"); v.Value != "2" {
+		t.Fatalf("prop_delay_us = %q", v.Value)
+	}
+	sizes, _ := n.Get("sizes")
+	if sizes.Kind != Seq || len(sizes.Items) != 2 || sizes.Items[1].Value != "1MiB" {
+		t.Fatalf("sizes = %+v", sizes)
+	}
+	cases, _ := n.Get("cases")
+	if cases.Kind != Seq || len(cases.Items) != 2 {
+		t.Fatalf("cases = %+v", cases)
+	}
+	if v, _ := cases.Items[0].Get("cache"); v.Value != "true" {
+		t.Fatalf("case[0].cache = %q", v.Value)
+	}
+	if v, _ := cases.Items[1].Get("policy"); v.Value != "odp" {
+		t.Fatalf("case[1].policy = %q", v.Value)
+	}
+	events, _ := n.Get("events")
+	if len(events.Items) != 1 {
+		t.Fatalf("events = %+v", events)
+	}
+	if v, _ := events.Items[0].Get("kind"); v.Value != "crash" {
+		t.Fatalf("event kind = %q", v.Value)
+	}
+}
+
+func TestParseLineNumbers(t *testing.T) {
+	n := parseOK(t, "a: 1\n\n# comment\nb:\n  c: 2\n")
+	b, _ := n.Get("b")
+	c, _ := b.Get("c")
+	if c.Line != 5 {
+		t.Fatalf("c.Line = %d, want 5", c.Line)
+	}
+	var bLine int
+	for _, p := range n.Pairs {
+		if p.Key == "b" {
+			bLine = p.Line
+		}
+	}
+	if bLine != 4 {
+		t.Fatalf("b pair line = %d, want 4", bLine)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"a: 1\na: 2\n", "duplicate key"},
+		{"\tkey: 1\n", "tab in indentation"},
+		{"", "empty document"},
+		{"a: [1, 2\n", "unterminated flow list"},
+		{"a: {b: 1}\n", "flow mappings are not supported"},
+		{"just a scalar line\n", "expected `key: value`"},
+		{"a:\n  - 1\n  b: 2\n", "unexpected indent"}, // seq then map at one indent
+	}
+	for _, tc := range cases {
+		if _, err := Parse([]byte(tc.src), "t.yaml"); err == nil {
+			t.Errorf("Parse(%q): no error, want %q", tc.src, tc.want)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Parse(%q): error %q, want substring %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestParseScalarSeq(t *testing.T) {
+	n := parseOK(t, "nodes:\n  - 1\n  - 2\n  - 3\n")
+	nodes, _ := n.Get("nodes")
+	if nodes.Kind != Seq || len(nodes.Items) != 3 || nodes.Items[2].Value != "3" {
+		t.Fatalf("nodes = %+v", nodes)
+	}
+}
+
+func TestCommentInsideQuotes(t *testing.T) {
+	n := parseOK(t, `a: "not # a comment"`+"\n")
+	if v, _ := n.Get("a"); v.Value != "not # a comment" {
+		t.Fatalf("a = %q", v.Value)
+	}
+}
