@@ -225,6 +225,48 @@ func KVServeCell() (p50, p99, p999 float64, events uint64) {
 		cl.EventsFired()
 }
 
+// KVServeFleetCell runs the replicated multi-endpoint serving cell once —
+// a two-group cluster (two storage servers with two endpoint lanes each on
+// 2-queue NICs, two client nodes) serving a 2-way-replicated keyspace —
+// and returns the GET latency percentiles in simulated µs plus the events
+// dispatched. This is the fleet-kv I/O path (lanes, RSS steering, replica
+// writes) at bench scale: the percentiles are simulated and exact, so the
+// guard holds the replicated serving path's tail the way KVServeTail holds
+// the single-copy path's.
+func KVServeFleetCell() (p50, p99, p999 float64, events uint64) {
+	cl, err := cluster.New(cluster.Config{
+		Groups: []cluster.NodeGroup{
+			{Name: "storage", Nodes: 2, EndpointsPerNode: 2, NICQueues: 2},
+			{Name: "clients", Nodes: 2},
+		},
+		OMX: omx.DefaultConfig(core.Overlapped, true),
+	})
+	if err != nil {
+		panic(err)
+	}
+	cfg := kv.Config{
+		Servers:     2,
+		Keys:        64,
+		ValueBytes:  64 << 10,
+		Theta:       0.9,
+		Workers:     4,
+		Replication: 2,
+		Tenants: []kv.Tenant{
+			{Name: "bench", Ops: 40, Rate: 4000, GetFrac: 0.7, MaxInflight: 8},
+		},
+	}
+	sink := &benchSink{}
+	cl.Run(func(c *mpi.Comm) {
+		kv.Run(c, sink, 1, cfg)
+	})
+	m := kv.Collect(cfg, 4, func(r int) *kv.Stats {
+		st, _ := sink.stash[kv.StashKey(r)].(*kv.Stats)
+		return st
+	})
+	return m.Get.QuantileUS(0.50), m.Get.QuantileUS(0.99), m.Get.QuantileUS(0.999),
+		cl.EventsFired()
+}
+
 // EngineAfter0Cell performs n zero-delay schedule+fire round trips on a
 // fresh engine (the fast-path microbenchmark body).
 func EngineAfter0Cell(n int) {
@@ -335,6 +377,19 @@ func kvServeTail(metrics map[string]float64) {
 	}
 }
 
+// kvServeFleet adapts KVServeFleetCell to the suite's metric map.
+func kvServeFleet(metrics map[string]float64) {
+	start := time.Now()
+	p50, p99, p999, events := KVServeFleetCell()
+	wall := time.Since(start)
+	metrics["p50_us"] = p50
+	metrics["p99_us"] = p99
+	metrics["p999_us"] = p999
+	if s := wall.Seconds(); s > 0 {
+		metrics["events/sec"] = float64(events) / s
+	}
+}
+
 // engineAfter0 measures the zero-delay fast path in isolation.
 func engineAfter0(metrics map[string]float64) {
 	const n = 2_000_000
@@ -400,6 +455,7 @@ func Run(pr int, quick bool) Report {
 		measure("EngineTimerWheel", 1, minWall/4, engineTimerWheel),
 		measure("Figure7Regular1MB", minIters, minWall/2, figure7Regular),
 		measure("KVServeTail", minIters, minWall/2, kvServeTail),
+		measure("KVServeFleet", minIters, minWall/2, kvServeFleet),
 	}
 	// The declarative front end: parse+compile the 1024-node fleet spec.
 	// Only measured when the file is reachable (bench from the repo root),
@@ -509,6 +565,17 @@ func Guard(cur, prior Report, slack float64) error {
 		if got, base := c.Metrics["p99_us"], p.Metrics["p99_us"]; got > base*1.05 {
 			return fmt.Errorf("bench guard: KVServeTail p99 %.1fus is %.2fx the %.1fus baseline (simulated, allowed 1.05x)",
 				got, got/base, base)
+		}
+	}
+	// KVServeFleet gates the replicated multi-endpoint serving path the
+	// same way, but only when both artifacts carry the cell (pre-replication
+	// artifacts, BENCH_PR9.json and earlier, never measured it).
+	if p, ok := find(prior, "KVServeFleet"); ok && p.Metrics["p99_us"] > 0 {
+		if c, cok := find(cur, "KVServeFleet"); cok {
+			if got, base := c.Metrics["p99_us"], p.Metrics["p99_us"]; got > base*1.05 {
+				return fmt.Errorf("bench guard: KVServeFleet p99 %.1fus is %.2fx the %.1fus baseline (simulated, allowed 1.05x)",
+					got, got/base, base)
+			}
 		}
 	}
 	return nil

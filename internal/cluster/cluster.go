@@ -25,6 +25,11 @@ type NodeGroup struct {
 	// RanksPerNode overrides Config.RanksPerNode for this group
 	// (0 = inherit).
 	RanksPerNode int
+	// EndpointsPerNode overrides Config.EndpointsPerNode for this group
+	// (0 = inherit): how many OMX endpoints each rank-role serves through.
+	EndpointsPerNode int
+	// NICQueues overrides Config.NICQueues for this group (0 = inherit).
+	NICQueues int
 	// Mem overrides Config.Mem for this group's hosts. The zero value
 	// (Frames 0) means unbounded memory, not "inherit" — a fleet's
 	// compute tier is typically unbounded while its storage tier has a
@@ -40,6 +45,15 @@ type Config struct {
 	// RanksPerNode is how many MPI ranks (endpoints) each host runs
 	// (default 1). Ranks are block-distributed: ranks 0..k-1 on node 0.
 	RanksPerNode int
+	// EndpointsPerNode opens that many OMX endpoints per rank-role
+	// (default 1): the primary carries the rank's MPI traffic, the rest
+	// attach as aux serving lanes (Endpoint.Aux) sharing the rank's
+	// process — multi-endpoint servers for fleet-scale kv serving.
+	EndpointsPerNode int
+	// NICQueues is the per-node NIC tx/rx queue count (default 1). Flows
+	// steer across queues via the fabric's seeded RSS function; each rx
+	// queue's bottom halves land on their own core.
+	NICQueues int
 	// RanksPerProc groups a node's consecutive ranks into shared
 	// processes (default 1: one process per rank). Ranks in one process
 	// share an address space, allocator, driver region manager, and —
@@ -201,12 +215,23 @@ func New(cfg Config) (*Cluster, error) {
 			})
 		})
 	}
-	// Per-node rank count and memory budget: uniform from Config unless
-	// Groups carves the cluster into heterogeneous slices.
+	// Per-node rank count, endpoint fan-out, queue count, and memory
+	// budget: uniform from Config unless Groups carves the cluster into
+	// heterogeneous slices.
+	if cfg.EndpointsPerNode == 0 {
+		cfg.EndpointsPerNode = 1
+	}
+	if cfg.NICQueues == 0 {
+		cfg.NICQueues = 1
+	}
 	rpnOf := make([]int, cfg.Nodes)
+	epnOf := make([]int, cfg.Nodes)
+	nqOf := make([]int, cfg.Nodes)
 	memOf := make([]omx.MemConfig, cfg.Nodes)
 	for i := range rpnOf {
 		rpnOf[i] = cfg.RanksPerNode
+		epnOf[i] = cfg.EndpointsPerNode
+		nqOf[i] = cfg.NICQueues
 		memOf[i] = cfg.Mem
 	}
 	if len(cfg.Groups) > 0 {
@@ -216,8 +241,18 @@ func New(cfg Config) (*Cluster, error) {
 			if rpn == 0 {
 				rpn = cfg.RanksPerNode
 			}
+			epn := g.EndpointsPerNode
+			if epn == 0 {
+				epn = cfg.EndpointsPerNode
+			}
+			nq := g.NICQueues
+			if nq == 0 {
+				nq = cfg.NICQueues
+			}
 			for k := 0; k < g.Nodes; k++ {
 				rpnOf[i] = rpn
+				epnOf[i] = epn
+				nqOf[i] = nq
 				memOf[i] = g.Mem
 				i++
 			}
@@ -226,6 +261,9 @@ func New(cfg Config) (*Cluster, error) {
 	rank := 0
 	for n := 0; n < cfg.Nodes; n++ {
 		node := omx.NewNode(engineOf(n), fabric, cfg.Spec, n, cfg.RxCoreIdx)
+		if nqOf[n] > 1 {
+			node.ConfigureQueues(nqOf[n])
+		}
 		node.ConfigureMemory(memOf[n])
 		cl.Nodes = append(cl.Nodes, node)
 		var proc *omx.Process
@@ -248,6 +286,22 @@ func New(cfg Config) (*Cluster, error) {
 			ep, err := node.OpenEndpointIn(proc, r, coreIdx)
 			if err != nil {
 				return nil, fmt.Errorf("cluster: node %d rank %d: %w", n, r, err)
+			}
+			// Aux serving lanes: extra endpoints in the same process, with
+			// ep ids past the node's rank range and cores fanned out past
+			// the rank's own. EndpointConfig applies per process, so lanes
+			// inherit the rank's configuration.
+			for j := 1; j < epnOf[n]; j++ {
+				auxID := rpnOf[n] + r*(epnOf[n]-1) + (j - 1)
+				auxCore := coreIdx
+				if !cfg.AppsOnRxCore {
+					auxCore = (cfg.AppCoreBase + r + j) % cfg.Spec.Cores
+				}
+				aux, err := node.OpenEndpointIn(proc, auxID, auxCore)
+				if err != nil {
+					return nil, fmt.Errorf("cluster: node %d rank %d lane %d: %w", n, r, j, err)
+				}
+				ep.AttachAux(aux)
 			}
 			cl.Endpoints = append(cl.Endpoints, ep)
 			rank++
@@ -290,6 +344,9 @@ func (cl *Cluster) Processes() []*omx.Process {
 // scenario runner surfaces as a case note on every cell.
 func (cl *Cluster) Close() int {
 	for _, ep := range cl.Endpoints {
+		for _, aux := range ep.Aux() {
+			aux.Close()
+		}
 		ep.Close()
 	}
 	leaked := 0

@@ -33,6 +33,14 @@ type Frame struct {
 	Src, Dst int // node IDs
 	Size     int // payload bytes, <= MTU
 	Payload  any
+	// Flow identifies the transport flow for queue steering: frames of one
+	// flow always serialize on the same tx queue and land on the same rx
+	// queue (like an RSS hash of the 5-tuple). Zero is the default flow;
+	// single-queue NICs ignore it.
+	Flow uint64
+	// Queue is the destination rx queue, filled in by Send from the
+	// seeded steering function and the destination NIC's queue count.
+	Queue int
 }
 
 // LinkConfig describes one direction-pair of cabling.
@@ -86,25 +94,35 @@ type NIC struct {
 	fabric  *Fabric
 	handler func(*Frame)
 
-	// txBusy tracks when each outgoing (this NIC, dst) direction frees
-	// up. Link serialization state is per source NIC — not fabric-global —
+	// queues is the tx/rx queue count (>= 1). Each flow is steered to one
+	// tx queue (serialization lane) on the source and one rx queue on the
+	// destination by the fabric's seeded steering function.
+	queues int
+
+	// txBusy tracks when each outgoing (tx queue, dst) lane frees up.
+	// Link serialization state is per source NIC — not fabric-global —
 	// so NICs on different engine shards never share mutable state.
-	txBusy map[int]sim.Time
+	// Multi-queue NICs serialize each queue independently, like separate
+	// hardware descriptor rings behind one wire.
+	txBusy map[txKey]sim.Time
 
-	// rng drives this NIC's loss decisions. Giving every NIC its own
-	// deterministic stream (seeded from the fabric seed and the node ID)
-	// keeps drop sequences independent of how sends from different nodes
-	// interleave — a requirement for shard-count-invariant traces, and
-	// the right model anyway (one node's traffic should not perturb
-	// another's loss pattern).
-	rng *rand.Rand
+	// rng drives this NIC's egress loss decisions, one private stream per
+	// tx queue. Giving every queue its own deterministic stream (seeded
+	// from the fabric seed, the node ID, and the queue index) keeps drop
+	// sequences independent of how sends from different nodes — or other
+	// queues of the same node — interleave: a requirement for
+	// shard-count-invariant traces, and the right model anyway (one
+	// flow's traffic should not perturb another's loss pattern). Queue 0
+	// keeps the historical per-NIC seed, so single-queue runs are
+	// bit-for-bit identical to the pre-multi-queue simulator.
+	rng []*rand.Rand
 
-	// rxRng is a second private stream for ingress loss decisions under
-	// degradation. Ingress and egress must not share a stream: egress
-	// draws happen at send time on the source engine, ingress draws at
-	// delivery time on this NIC's engine, and interleaving them would
-	// make drop sequences depend on global event order.
-	rxRng *rand.Rand
+	// rxRng holds the per-rx-queue streams for ingress loss decisions
+	// under degradation. Ingress and egress must not share a stream:
+	// egress draws happen at send time on the source engine, ingress
+	// draws at delivery time on this NIC's engine, and interleaving them
+	// would make drop sequences depend on global event order.
+	rxRng []*rand.Rand
 
 	// Lifecycle and degradation state. Both are only ever mutated by
 	// events on this NIC's own engine (chaos events land on the owning
@@ -118,10 +136,22 @@ type NIC struct {
 	degrade      Degrade
 
 	// Statistics. txFrames doubles as the per-source sequence number the
-	// shard router uses to tie-break simultaneous cross-shard arrivals.
+	// shard router uses to tie-break simultaneous cross-shard arrivals —
+	// it stays NIC-global (not per queue) so the tie-break key remains
+	// unique per source whatever the queue layout.
 	txFrames, rxFrames uint64
 	txBytes, rxBytes   uint64
 	dropped            uint64
+	// Per-queue frame counters (len == queues), for steering tests and
+	// queue-utilization reporting.
+	txqFrames, rxqFrames []uint64
+}
+
+// txKey identifies one serialization lane: a tx queue paired with a
+// destination node.
+type txKey struct {
+	queue int
+	dst   int
 }
 
 // NodeID returns the identifier this NIC was registered under.
@@ -144,6 +174,36 @@ func (n *NIC) RxBytes() uint64 { return n.rxBytes }
 
 // Dropped reports frames lost on links out of this NIC.
 func (n *NIC) Dropped() uint64 { return n.dropped }
+
+// Queues returns the NIC's tx/rx queue count.
+func (n *NIC) Queues() int { return n.queues }
+
+// TxQueueFrames reports frames sent through tx queue q.
+func (n *NIC) TxQueueFrames(q int) uint64 { return n.txqFrames[q] }
+
+// RxQueueFrames reports frames delivered on rx queue q.
+func (n *NIC) RxQueueFrames(q int) uint64 { return n.rxqFrames[q] }
+
+// SetQueues resizes the NIC to q tx/rx queues (q >= 1), rebuilding the
+// per-queue RNG streams. Queue 0 keeps the NIC's historical seed; higher
+// queues derive theirs from (fabric seed, node ID, queue index). Must be
+// called before any traffic flows — it resets the loss streams.
+func (n *NIC) SetQueues(q int) {
+	if q < 1 {
+		panic(fmt.Sprintf("ethernet: NIC queue count %d < 1", q))
+	}
+	n.queues = q
+	n.rng = make([]*rand.Rand, q)
+	n.rxRng = make([]*rand.Rand, q)
+	seed := n.fabric.Seed
+	for i := 0; i < q; i++ {
+		salt := int64(uint64(i) * 0x94d049bb133111eb) // 0 for queue 0: legacy seed
+		n.rng[i] = rand.New(rand.NewSource(seed ^ int64(uint64(n.nodeID)*0x9e3779b97f4a7c15) ^ salt))
+		n.rxRng[i] = rand.New(rand.NewSource(seed ^ int64(uint64(n.nodeID)*0x9e3779b97f4a7c15+0x6b79b56c3b21cd4f) ^ salt))
+	}
+	n.txqFrames = make([]uint64, q)
+	n.rxqFrames = make([]uint64, q)
+}
 
 // SetDown sets the NIC's link state. A down NIC transmits nothing and
 // discards every arriving frame — the node has gone dark as far as the
@@ -251,12 +311,28 @@ func (f *Fabric) AddNICOn(eng *sim.Engine, nodeID, mtu int) *NIC {
 		mtu:        mtu,
 		txOverhead: 200 * sim.Nanosecond,
 		fabric:     f,
-		txBusy:     make(map[int]sim.Time),
-		rng:        rand.New(rand.NewSource(f.Seed ^ int64(uint64(nodeID)*0x9e3779b97f4a7c15))),
-		rxRng:      rand.New(rand.NewSource(f.Seed ^ int64(uint64(nodeID)*0x9e3779b97f4a7c15+0x6b79b56c3b21cd4f))),
+		txBusy:     make(map[txKey]sim.Time),
 	}
+	n.SetQueues(1)
 	f.nics[nodeID] = n
 	return n
+}
+
+// SteerQueue is the seeded RSS-style steering function: it maps a flow id
+// onto one of queues lanes. The hash mixes the fabric seed, so steering is
+// deterministic per fabric but decorrelated across seeds (like Toeplitz
+// RSS with a random key). SteerQueue(_, 1) is always 0.
+func (f *Fabric) SteerQueue(flow uint64, queues int) int {
+	if queues <= 1 {
+		return 0
+	}
+	h := flow ^ uint64(f.Seed)*0x9e3779b97f4a7c15
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return int(h % uint64(queues))
 }
 
 // NIC returns the NIC registered for nodeID.
@@ -285,7 +361,12 @@ func (n *NIC) Send(fr *Frame) {
 		return
 	}
 	fr.Src = n.nodeID
+	// Steer the flow: one tx serialization lane on this NIC, one rx queue
+	// on the destination (recorded in the frame, read at Deliver time).
+	txq := n.fabric.SteerQueue(fr.Flow, n.queues)
+	fr.Queue = n.fabric.SteerQueue(fr.Flow, dst.queues)
 	n.txFrames++
+	n.txqFrames[txq]++
 	n.txBytes += uint64(fr.Size)
 
 	bw := n.fabric.cfg.BytesPerSec
@@ -298,25 +379,26 @@ func (n *NIC) Send(fr *Frame) {
 	wireTime := sim.Duration(float64(fr.Size+WireOverhead) / bw * 1e9)
 
 	sendTime := n.eng.Now()
-	start := n.txBusy[fr.Dst]
+	lane := txKey{queue: txq, dst: fr.Dst}
+	start := n.txBusy[lane]
 	if start < sendTime {
 		start = sendTime
 	}
 	start += n.txOverhead
 	end := start + wireTime
-	n.txBusy[fr.Dst] = end
+	n.txBusy[lane] = end
 
 	if n.fabric.DropFilter != nil && n.fabric.DropFilter(fr) {
 		n.dropped++
 		return
 	}
-	if p := n.fabric.cfg.DropProb; p > 0 && n.rng.Float64() < p {
+	if p := n.fabric.cfg.DropProb; p > 0 && n.rng[txq].Float64() < p {
 		n.dropped++
 		return
 	}
 	when := end + n.fabric.cfg.PropDelay + dst.rxDelay
 	if n.degradeDepth > 0 {
-		if p := n.degrade.DropProb; p > 0 && n.rng.Float64() < p {
+		if p := n.degrade.DropProb; p > 0 && n.rng[txq].Float64() < p {
 			n.dropped++
 			return
 		}
@@ -341,8 +423,12 @@ func (n *NIC) Deliver(fr *Frame) {
 		n.dropped++
 		return
 	}
+	rxq := fr.Queue
+	if rxq >= n.queues {
+		rxq = 0 // queue layout changed mid-flight; fall back to queue 0
+	}
 	if n.degradeDepth > 0 {
-		if p := n.degrade.DropProb; p > 0 && n.rxRng.Float64() < p {
+		if p := n.degrade.DropProb; p > 0 && n.rxRng[rxq].Float64() < p {
 			n.dropped++
 			return
 		}
@@ -362,6 +448,11 @@ func (n *NIC) deliverNow(fr *Frame) {
 		return
 	}
 	n.rxFrames++
+	if fr.Queue < n.queues {
+		n.rxqFrames[fr.Queue]++
+	} else {
+		n.rxqFrames[0]++
+	}
 	n.rxBytes += uint64(fr.Size)
 	if n.handler != nil {
 		n.handler(fr)

@@ -1,0 +1,163 @@
+package ethernet
+
+import (
+	"testing"
+
+	"omxsim/internal/sim"
+)
+
+// flowForQueue finds a flow id the fabric's seeded RSS function steers to
+// queue q of queues.
+func flowForQueue(t *testing.T, f *Fabric, q, queues int) uint64 {
+	t.Helper()
+	for flow := uint64(1); flow < 10000; flow++ {
+		if f.SteerQueue(flow, queues) == q {
+			return flow
+		}
+	}
+	t.Fatalf("no flow steers to queue %d of %d", q, queues)
+	return 0
+}
+
+func TestSteerQueueSingleQueueIsAlwaysZero(t *testing.T) {
+	e := sim.NewEngine(7)
+	f := NewFabric(e, DefaultLinkConfig())
+	for flow := uint64(0); flow < 1000; flow++ {
+		if q := f.SteerQueue(flow, 1); q != 0 {
+			t.Fatalf("SteerQueue(%d, 1) = %d, want 0", flow, q)
+		}
+	}
+}
+
+func TestSteerQueueSpreadsAndIsSeeded(t *testing.T) {
+	e := sim.NewEngine(7)
+	f := NewFabric(e, DefaultLinkConfig())
+	f.Seed = 7
+	const queues = 4
+	var hits [queues]int
+	for flow := uint64(0); flow < 4000; flow++ {
+		hits[f.SteerQueue(flow, queues)]++
+	}
+	for q, n := range hits {
+		if n < 500 {
+			t.Fatalf("queue %d got %d of 4000 flows: steering is degenerate", q, n)
+		}
+	}
+	// A different fabric seed must produce a different flow→queue map.
+	e2 := sim.NewEngine(8)
+	f2 := NewFabric(e2, DefaultLinkConfig())
+	f2.Seed = 8
+	same := 0
+	for flow := uint64(0); flow < 1000; flow++ {
+		if f.SteerQueue(flow, queues) == f2.SteerQueue(flow, queues) {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Fatal("steering map identical across fabric seeds")
+	}
+}
+
+// TestQueueRNGIsolation is the per-queue RNG regression: one queue's
+// traffic must not perturb another queue's drop pattern. Before the
+// per-queue split a NIC drew every drop from one stream, so adding
+// queue-0 frames shifted which queue-1 frames were dropped.
+func TestQueueRNGIsolation(t *testing.T) {
+	pattern := func(withOther bool) []bool {
+		e := sim.NewEngine(42)
+		cfg := DefaultLinkConfig()
+		cfg.DropProb = 0.3
+		f := NewFabric(e, cfg)
+		a := f.AddNIC(0, 0)
+		b := f.AddNIC(1, 0)
+		a.SetQueues(2)
+		b.SetQueues(2)
+		q0 := flowForQueue(t, f, 0, 2)
+		q1 := flowForQueue(t, f, 1, 2)
+		delivered := make([]bool, 100)
+		b.SetHandler(func(fr *Frame) {
+			if id := fr.Payload.(int); id >= 0 {
+				delivered[id] = true
+			}
+		})
+		for i := 0; i < 100; i++ {
+			if withOther {
+				a.Send(&Frame{Dst: 1, Size: 100, Payload: -1, Flow: q0})
+			}
+			a.Send(&Frame{Dst: 1, Size: 100, Payload: i, Flow: q1})
+		}
+		e.Run()
+		return delivered
+	}
+	quiet, noisy := pattern(false), pattern(true)
+	for i := range quiet {
+		if quiet[i] != noisy[i] {
+			t.Fatalf("queue 1 drop pattern perturbed by queue 0 traffic at frame %d", i)
+		}
+	}
+}
+
+// TestQueueZeroKeepsLegacyStream: queue 0 of a multi-queue NIC draws from
+// the historical per-NIC streams, so traffic steered to queue 0 sees the
+// same drops as the same traffic on a single-queue NIC — the invariant
+// that keeps every existing scenario byte-identical.
+func TestQueueZeroKeepsLegacyStream(t *testing.T) {
+	pattern := func(queues int) []bool {
+		e := sim.NewEngine(99)
+		cfg := DefaultLinkConfig()
+		cfg.DropProb = 0.3
+		f := NewFabric(e, cfg)
+		a := f.AddNIC(0, 0)
+		b := f.AddNIC(1, 0)
+		var flow uint64
+		if queues > 1 {
+			a.SetQueues(queues)
+			b.SetQueues(queues)
+			flow = flowForQueue(t, f, 0, queues)
+		}
+		delivered := make([]bool, 200)
+		b.SetHandler(func(fr *Frame) { delivered[fr.Payload.(int)] = true })
+		for i := 0; i < 200; i++ {
+			a.Send(&Frame{Dst: 1, Size: 100, Payload: i, Flow: flow})
+		}
+		e.Run()
+		return delivered
+	}
+	single, multi := pattern(1), pattern(4)
+	for i := range single {
+		if single[i] != multi[i] {
+			t.Fatalf("queue 0 of a 4-queue NIC diverged from the single-queue stream at frame %d", i)
+		}
+	}
+}
+
+func TestPerQueueFrameCounters(t *testing.T) {
+	e := sim.NewEngine(5)
+	f := NewFabric(e, DefaultLinkConfig())
+	a := f.AddNIC(0, 0)
+	b := f.AddNIC(1, 0)
+	a.SetQueues(2)
+	b.SetQueues(2)
+	q0 := flowForQueue(t, f, 0, 2)
+	q1 := flowForQueue(t, f, 1, 2)
+	b.SetHandler(func(fr *Frame) {})
+	for i := 0; i < 3; i++ {
+		a.Send(&Frame{Dst: 1, Size: 100, Flow: q0})
+	}
+	for i := 0; i < 5; i++ {
+		a.Send(&Frame{Dst: 1, Size: 100, Flow: q1})
+	}
+	e.Run()
+	if a.Queues() != 2 || b.Queues() != 2 {
+		t.Fatalf("Queues() = %d/%d, want 2/2", a.Queues(), b.Queues())
+	}
+	if a.TxQueueFrames(0) != 3 || a.TxQueueFrames(1) != 5 {
+		t.Fatalf("tx queue counters = %d/%d, want 3/5", a.TxQueueFrames(0), a.TxQueueFrames(1))
+	}
+	if b.RxQueueFrames(0) != 3 || b.RxQueueFrames(1) != 5 {
+		t.Fatalf("rx queue counters = %d/%d, want 3/5", b.RxQueueFrames(0), b.RxQueueFrames(1))
+	}
+	if a.TxFrames() != 8 || b.RxFrames() != 8 {
+		t.Fatalf("aggregate counters = %d/%d, want 8/8", a.TxFrames(), b.RxFrames())
+	}
+}

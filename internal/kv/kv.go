@@ -100,6 +100,22 @@ type Config struct {
 	ChurnBytes int
 	// ChurnPeriod is the hog's sweep period (default 200µs).
 	ChurnPeriod sim.Duration
+	// Replication is the copies-per-key count (default 1, unreplicated).
+	// Key k's replica set is servers (k%Servers + i) % Servers for
+	// i < Replication; clients read from the primary and fail over to the
+	// next replica on a typed ErrPeerDead/ErrTimeout, and write every
+	// replica (an operation succeeds when at least one ack lands).
+	Replication int
+	// FailoverTimeout bounds how long a client waits on a posted data/ack
+	// receive before cancelling it (ErrTimeout) and failing over. Only
+	// armed when Replication > 1; default 20ms.
+	FailoverTimeout sim.Duration
+	// OutageStart/OutageEnd bound the outage observation window in
+	// simulated time from run start: operations scheduled inside it also
+	// record into the separate outage histograms, so an SLO can gate the
+	// tail while a replica is down. Disabled when OutageEnd is zero.
+	OutageStart sim.Duration
+	OutageEnd   sim.Duration
 }
 
 func (cfg Config) workers() int {
@@ -116,9 +132,54 @@ func (cfg Config) churnPeriod() sim.Duration {
 	return cfg.ChurnPeriod
 }
 
-// slots is the per-tenant heap size in values on every server (uniform,
-// ceil(Keys/Servers), so heap layout does not depend on the server index).
+// slots is the per-tenant heap size in quotient groups on every server
+// (uniform, ceil(Keys/Servers), so heap layout does not depend on the
+// server index). Each group holds replicas() values — see slotOf.
 func (cfg Config) slots() int { return (cfg.Keys + cfg.Servers - 1) / cfg.Servers }
+
+// replicas is the effective replication factor, clamped to the server
+// count (replica sets are distinct servers).
+func (cfg Config) replicas() int {
+	r := cfg.Replication
+	if r < 1 {
+		r = 1
+	}
+	if r > cfg.Servers {
+		r = cfg.Servers
+	}
+	return r
+}
+
+func (cfg Config) failoverTimeout() sim.Duration {
+	if cfg.FailoverTimeout <= 0 {
+		return 20 * sim.Millisecond
+	}
+	return cfg.FailoverTimeout
+}
+
+// replicaIndex is which copy of key k server rank holds (0 = primary), or
+// -1 when the rank is not in k's replica set.
+func (cfg Config) replicaIndex(rank, k int) int {
+	ri := (rank - k%cfg.Servers + cfg.Servers) % cfg.Servers
+	if ri >= cfg.replicas() {
+		return -1
+	}
+	return ri
+}
+
+// slotOf is key k's value slot in server rank's per-tenant heap: quotient
+// group k/Servers, copy replicaIndex within it. Distinct keys replicated
+// onto one server never collide; with Replication 1 it reduces to the
+// historical k/Servers layout.
+func (cfg Config) slotOf(rank, k int) int {
+	return k/cfg.Servers*cfg.replicas() + cfg.replicaIndex(rank, k)
+}
+
+// inOutage reports whether an operation scheduled at t falls inside the
+// configured outage observation window.
+func (cfg Config) inOutage(t sim.Time) bool {
+	return cfg.OutageEnd > 0 && t >= sim.Time(cfg.OutageStart) && t < sim.Time(cfg.OutageEnd)
+}
 
 // Stats is one rank's measurement record, stashed on the case cell at the
 // end of the run and merged (in rank order, so deterministically) by
@@ -130,6 +191,10 @@ type Stats struct {
 	Tenant int // -1 for servers
 	Get    report.Hist
 	Put    report.Hist
+	// GetOutage/PutOutage are the windowed views of Get/Put for operations
+	// scheduled inside the configured outage window (empty otherwise).
+	GetOutage report.Hist
+	PutOutage report.Hist
 	// Issued counts arrivals, OK completions, Rejected admission drops,
 	// Errors protocol aborts, BadVals GET payloads failing validation.
 	Issued   int
@@ -137,6 +202,10 @@ type Stats struct {
 	Rejected int
 	Errors   int
 	BadVals  int
+	// Failovers counts replica attempts abandoned on a typed
+	// ErrPeerDead/ErrTimeout (reads retried elsewhere, writes that lost a
+	// copy but still acked).
+	Failovers int
 }
 
 // Sink is the slice of scenario.CaseRun the workload needs; keeping it an
@@ -225,67 +294,88 @@ func runServer(c *mpi.Comm, sink Sink, cfg Config) {
 	slots := cfg.slots()
 
 	// Value heaps: one contiguous per-tenant arena, prefilled with
-	// signed values so the first GET of any key validates. The prefill
-	// writes touch every frame, so the heaps are resident (and, under a
-	// frame budget, already contended) before the serving clock starts.
+	// signed values so the first GET of any key validates — on every
+	// replica (slotOf gives each copy its own slot, so replicated keys
+	// never collide). The prefill writes touch every frame, so the heaps
+	// are resident (and, under a frame budget, already contended) before
+	// the serving clock starts.
 	heaps := make([]vm.Addr, len(cfg.Tenants))
 	val := make([]byte, cfg.ValueBytes)
 	for i := range val {
 		val[i] = byte(i>>8) ^ byte(i)
 	}
 	for t := range cfg.Tenants {
-		heaps[t] = mustMalloc(ep, slots*cfg.ValueBytes)
-		for k := rank; k < cfg.Keys; k += cfg.Servers {
+		heaps[t] = mustMalloc(ep, slots*cfg.replicas()*cfg.ValueBytes)
+		for k := 0; k < cfg.Keys; k++ {
+			if cfg.replicaIndex(rank, k) < 0 {
+				continue
+			}
 			binary.LittleEndian.PutUint64(val[:8], sig(t, k))
-			a := heaps[t] + vm.Addr(k/cfg.Servers*cfg.ValueBytes)
+			a := heaps[t] + vm.Addr(cfg.slotOf(rank, k)*cfg.ValueBytes)
 			if err := ep.AS.Write(a, val); err != nil {
 				panic(fmt.Sprintf("kv: server %d prefill: %v", rank, err))
 			}
 		}
 	}
 
+	// Serving lanes: the primary endpoint plus every aux endpoint the
+	// cluster attached to this rank-role (EndpointsPerNode). Each lane is
+	// an independent dispatcher + worker pool on its own endpoint —
+	// clients hash keys across the lanes, and lane traffic steers onto
+	// its own NIC queue via the endpoint-pair flow.
+	lanes := append([]*omx.Endpoint{ep}, ep.Aux()...)
+	qs := make([]*sim.Queue[serverOp], len(lanes))
+	for li := range qs {
+		qs[li] = &sim.Queue[serverOp]{}
+	}
+
 	// Data-phase workers: GETs send the slot out, PUTs receive into it
 	// in place and ack. The value segments are heap addresses, so every
 	// transfer drives the registration cache and pinning policy on the
 	// serving side.
-	var q sim.Queue[serverOp]
 	workers := cfg.workers()
-	done := make([]*sim.Completion, workers)
-	for w := 0; w < workers; w++ {
-		w := w
-		done[w] = &sim.Completion{}
-		eng.Go(fmt.Sprintf("kv-srv%d-w%d", rank, w), func(p *sim.Proc) {
-			defer done[w].Complete(eng, nil)
-			ack := mustMalloc(ep, ackBytes)
-			for {
-				so := q.Pop(p)
-				if so.kind == opShut {
-					return
-				}
-				slot := []omx.Segment{{
-					Addr: heaps[so.tenant] + vm.Addr(so.key/cfg.Servers*cfg.ValueBytes),
-					Len:  cfg.ValueBytes,
-				}}
-				switch so.kind {
-				case opGet:
-					r := ep.IsendVHint(slot, kvMatch(rank, tagData|so.seq), c.PeerAddr(so.src), true)
-					if err := ep.Wait(p, r); err != nil {
-						st.Errors++
-					}
-				case opPut:
-					r := ep.IrecvVHint(slot, kvMatch(so.src, tagData|so.seq), ^uint64(0), true)
-					if err := ep.Wait(p, r); err != nil {
-						st.Errors++
-						continue
-					}
-					a := ep.IsendVHint([]omx.Segment{{Addr: ack, Len: ackBytes}},
-						kvMatch(rank, tagReply|so.seq), c.PeerAddr(so.src), true)
-					if err := ep.Wait(p, a); err != nil {
-						st.Errors++
-					}
-				}
+	var done []*sim.Completion
+	for li, lep := range lanes {
+		lep, q := lep, qs[li]
+		for w := 0; w < workers; w++ {
+			name := fmt.Sprintf("kv-srv%d-w%d", rank, w)
+			if li > 0 {
+				name = fmt.Sprintf("kv-srv%d-l%d-w%d", rank, li, w)
 			}
-		})
+			d := &sim.Completion{}
+			done = append(done, d)
+			eng.Go(name, func(p *sim.Proc) {
+				defer d.Complete(eng, nil)
+				ack := mustMalloc(lep, ackBytes)
+				for {
+					so := q.Pop(p)
+					if so.kind == opShut {
+						return
+					}
+					slot := []omx.Segment{{
+						Addr: heaps[so.tenant] + vm.Addr(cfg.slotOf(rank, so.key)*cfg.ValueBytes),
+						Len:  cfg.ValueBytes,
+					}}
+					switch so.kind {
+					case opGet:
+						r := lep.IsendVHint(slot, kvMatch(rank, tagData|so.seq), c.PeerAddr(so.src), true)
+						if err := lep.Wait(p, r); err != nil {
+							st.Errors++
+						}
+					case opPut:
+						if err := serverPutRecv(p, lep, cfg, slot, so); err != nil {
+							st.Errors++
+							continue
+						}
+						a := lep.IsendVHint([]omx.Segment{{Addr: ack, Len: ackBytes}},
+							kvMatch(rank, tagReply|so.seq), c.PeerAddr(so.src), true)
+						if err := lep.Wait(p, a); err != nil {
+							st.Errors++
+						}
+					}
+				}
+			})
+		}
 	}
 
 	// Memory hog: emergent pressure against the node's frame budget,
@@ -315,38 +405,58 @@ func runServer(c *mpi.Comm, sink Sink, cfg Config) {
 
 	c.Barrier()
 
-	// Header dispatcher: one small receive at a time from any client;
-	// bursts queue in the endpoint's unexpected queue in deterministic
-	// arrival order. Each client announces completion with one shutdown
-	// header; the loop ends when all have.
-	hdr := mustMalloc(ep, headerBytes)
-	clients := c.Size() - cfg.Servers
-	for shut := 0; shut < clients; {
-		r := ep.IrecvVHint([]omx.Segment{{Addr: hdr, Len: headerBytes}},
-			kvMatch(0, tagReq), anySrcMask(), true)
-		if err := ep.Wait(c.Proc(), r); err != nil {
-			st.Errors++
-			continue
+	// Header dispatchers, one per lane: one small receive at a time from
+	// any client; bursts queue in the endpoint's unexpected queue in
+	// deterministic arrival order. Each client announces completion with
+	// one shutdown header per lane; a lane's loop ends when all have.
+	// Lane 0 runs on the rank body itself (the historical single-lane
+	// path, event-for-event); further lanes run as their own processes.
+	dispatch := func(p *sim.Proc, lep *omx.Endpoint, q *sim.Queue[serverOp]) {
+		hdr := mustMalloc(lep, headerBytes)
+		clients := c.Size() - cfg.Servers
+		for shut := 0; shut < clients; {
+			r := lep.IrecvVHint([]omx.Segment{{Addr: hdr, Len: headerBytes}},
+				kvMatch(0, tagReq), anySrcMask(), true)
+			if err := lep.Wait(p, r); err != nil {
+				st.Errors++
+				continue
+			}
+			b := make([]byte, headerBytes)
+			if err := lep.AS.Read(hdr, b); err != nil {
+				panic(fmt.Sprintf("kv: server %d header read: %v", rank, err))
+			}
+			so := serverOp{
+				kind:   opKind(b[0]),
+				tenant: int(b[1]),
+				key:    int(binary.LittleEndian.Uint32(b[4:])),
+				seq:    binary.LittleEndian.Uint32(b[8:]) & seqMask,
+				src:    int(uint16(r.RecvMatch >> srcShift)),
+			}
+			if so.kind == opShut {
+				shut++
+				continue
+			}
+			q.Push(eng, so)
 		}
-		b := make([]byte, headerBytes)
-		if err := ep.AS.Read(hdr, b); err != nil {
-			panic(fmt.Sprintf("kv: server %d header read: %v", rank, err))
-		}
-		so := serverOp{
-			kind:   opKind(b[0]),
-			tenant: int(b[1]),
-			key:    int(binary.LittleEndian.Uint32(b[4:])),
-			seq:    binary.LittleEndian.Uint32(b[8:]) & seqMask,
-			src:    int(uint16(r.RecvMatch >> srcShift)),
-		}
-		if so.kind == opShut {
-			shut++
-			continue
-		}
-		q.Push(eng, so)
 	}
-	for w := 0; w < workers; w++ {
-		q.Push(eng, serverOp{kind: opShut})
+	var laneDone []*sim.Completion
+	for li := 1; li < len(lanes); li++ {
+		li := li
+		d := &sim.Completion{}
+		laneDone = append(laneDone, d)
+		eng.Go(fmt.Sprintf("kv-srv%d-l%d-disp", rank, li), func(p *sim.Proc) {
+			defer d.Complete(eng, nil)
+			dispatch(p, lanes[li], qs[li])
+		})
+	}
+	dispatch(c.Proc(), lanes[0], qs[0])
+	for _, d := range laneDone {
+		d.Wait(c.Proc())
+	}
+	for li := range lanes {
+		for w := 0; w < workers; w++ {
+			qs[li].Push(eng, serverOp{kind: opShut})
+		}
 	}
 	for _, d := range done {
 		d.Wait(c.Proc())
@@ -356,6 +466,31 @@ func runServer(c *mpi.Comm, sink Sink, cfg Config) {
 		hogDone.Wait(c.Proc())
 	}
 	sink.Stash(StashKey(rank), st)
+}
+
+// serverPutRecv posts the PUT data receive. Under replication the wait is
+// bounded by the failover timeout (a failed-over client will never send),
+// and a crash-aborted receive is reposted once: the client's data phase
+// may still be in flight from before the crash, and sends cannot be
+// cancelled, so draining the dangling transfer is what unsticks the
+// client. Unreplicated runs keep the historical unbounded single post.
+func serverPutRecv(p *sim.Proc, lep *omx.Endpoint, cfg Config, slot []omx.Segment, so serverOp) error {
+	if cfg.replicas() <= 1 {
+		r := lep.IrecvVHint(slot, kvMatch(so.src, tagData|so.seq), ^uint64(0), true)
+		return lep.Wait(p, r)
+	}
+	eng := lep.Node().Eng
+	var err error
+	for attempt := 0; attempt < 2; attempt++ {
+		r := lep.IrecvVHint(slot, kvMatch(so.src, tagData|so.seq), ^uint64(0), true)
+		tm := eng.After(cfg.failoverTimeout(), func() { lep.CancelRecv(r, omx.ErrTimeout) })
+		err = lep.Wait(p, r)
+		tm.Cancel()
+		if err == nil || errors.Is(err, omx.ErrTimeout) {
+			break // done, or the data is genuinely not coming
+		}
+	}
+	return err
 }
 
 func runClient(c *mpi.Comm, sink Sink, seed int64, cfg Config) {
@@ -407,10 +542,17 @@ func runClient(c *mpi.Comm, sink Sink, seed int64, cfg Config) {
 					continue
 				}
 				st.OK++
+				inOutage := cfg.inOutage(o.scheduledAt)
 				if o.kind == opGet {
 					st.Get.Record(lat)
+					if inOutage {
+						st.GetOutage.Record(lat)
+					}
 				} else {
 					st.Put.Record(lat)
+					if inOutage {
+						st.PutOutage.Record(lat)
+					}
 				}
 			}
 		})
@@ -455,79 +597,170 @@ func runClient(c *mpi.Comm, sink Sink, seed int64, cfg Config) {
 		d.Wait(c.Proc())
 	}
 
-	// All operations done: release every server with a shutdown header.
+	// All operations done: release every serving lane of every server
+	// with a shutdown header. A send lost to a crash window retries a few
+	// times — the server restarts inside its chaos window and must still
+	// learn this client is finished.
 	hdr := mustMalloc(ep, headerBytes)
 	for s := 0; s < cfg.Servers; s++ {
-		writeHeader(ep, hdr, opShut, 0, 0, 0)
-		r := ep.IsendVHint([]omx.Segment{{Addr: hdr, Len: headerBytes}},
-			kvMatch(rank, tagReq), c.PeerAddr(s), true)
-		if err := ep.Wait(c.Proc(), r); err != nil {
-			st.Errors++
+		for _, addr := range c.PeerAddrs(s) {
+			for try := 0; ; try++ {
+				writeHeader(ep, hdr, opShut, 0, 0, 0)
+				r := ep.IsendVHint([]omx.Segment{{Addr: hdr, Len: headerBytes}},
+					kvMatch(rank, tagReq), addr, true)
+				err := ep.Wait(c.Proc(), r)
+				if err == nil {
+					break
+				}
+				st.Errors++
+				if try >= 2 {
+					sink.Note("rank %d: shutdown to %v lost after %d tries: %v", rank, addr, try+1, err)
+					break
+				}
+			}
 		}
 	}
 	sink.Stash(StashKey(rank), st)
 }
 
-// clientOp runs one operation's wire protocol from a client worker. Data
-// receives post before the request header goes out, so the server's data
-// phase can never race the match.
+// failoverable reports whether an error justifies trying another replica:
+// the typed liveness aborts (peer dead, timed out), not admission or pin
+// failures.
+func failoverable(err error) bool {
+	return errors.Is(err, omx.ErrPeerDead) || errors.Is(err, omx.ErrTimeout)
+}
+
+// laneAddr picks the serving lane on server for key: lanes partition the
+// key space by quotient group, so one key always lands on the same lane.
+func laneAddr(c *mpi.Comm, cfg Config, server, key int) omx.EndpointAddr {
+	addrs := c.PeerAddrs(server)
+	if len(addrs) == 1 {
+		return addrs[0]
+	}
+	return addrs[key/cfg.Servers%len(addrs)]
+}
+
+// clientOp runs one operation's wire protocol from a client worker. Reads
+// go to the key's primary and fail over through the replica set on typed
+// liveness errors; writes go to every replica and succeed when at least
+// one ack lands. With Replication 1 both shapes reduce to the historical
+// single-server exchange.
 func clientOp(c *mpi.Comm, p *sim.Proc, o op, cfg Config, st *Stats, val, hdr, ack vm.Addr) error {
+	replicas := cfg.replicas()
+	if o.kind == opGet {
+		var lastErr error
+		for i := 0; i < replicas; i++ {
+			server := (o.key%cfg.Servers + i) % cfg.Servers
+			err := clientGet(c, p, o, cfg, st, val, hdr, server)
+			if err == nil {
+				return nil
+			}
+			lastErr = err
+			if i+1 < replicas && failoverable(err) {
+				st.Failovers++
+				continue
+			}
+			return err
+		}
+		return lastErr
+	}
+	acked := 0
+	var lastErr error
+	for i := 0; i < replicas; i++ {
+		server := (o.key%cfg.Servers + i) % cfg.Servers
+		if err := clientPut(c, p, o, cfg, val, hdr, ack, server); err != nil {
+			lastErr = err
+			if replicas > 1 && failoverable(err) {
+				st.Failovers++
+			}
+			continue
+		}
+		acked++
+	}
+	if acked > 0 {
+		return nil
+	}
+	return lastErr
+}
+
+// waitRecvBounded waits on a posted receive; with replication enabled a
+// failover timer cancels it (ErrTimeout) if the replica goes quiet — a
+// posted receive whose sender crashed would otherwise never complete.
+func waitRecvBounded(c *mpi.Comm, p *sim.Proc, cfg Config, r *omx.Request) error {
+	ep := c.Endpoint()
+	if cfg.replicas() <= 1 {
+		return ep.Wait(p, r)
+	}
+	tm := ep.Node().Eng.After(cfg.failoverTimeout(), func() {
+		ep.CancelRecv(r, omx.ErrTimeout)
+	})
+	err := ep.Wait(p, r)
+	tm.Cancel()
+	return err
+}
+
+// clientGet runs one read attempt against one replica. The data receive
+// posts before the request header goes out, so the server's data phase can
+// never race the match.
+func clientGet(c *mpi.Comm, p *sim.Proc, o op, cfg Config, st *Stats, val, hdr vm.Addr, server int) error {
 	ep := c.Endpoint()
 	rank := c.Rank()
-	server := o.key % cfg.Servers
 	valSeg := []omx.Segment{{Addr: val, Len: cfg.ValueBytes}}
 
-	var data, reply *omx.Request
-	if o.kind == opGet {
-		data = ep.IrecvVHint(valSeg, kvMatch(server, tagData|o.seq), ^uint64(0), true)
-	} else {
-		var sb [8]byte
-		binary.LittleEndian.PutUint64(sb[:], sig(o.tenant, o.key))
-		if err := ep.AS.Write(val, sb[:]); err != nil {
-			panic(fmt.Sprintf("kv: rank %d value write: %v", rank, err))
-		}
-		reply = ep.IrecvVHint([]omx.Segment{{Addr: ack, Len: ackBytes}},
-			kvMatch(server, tagReply|o.seq), ^uint64(0), true)
-	}
-
+	data := ep.IrecvVHint(valSeg, kvMatch(server, tagData|o.seq), ^uint64(0), true)
 	writeHeader(ep, hdr, o.kind, o.tenant, o.key, o.seq)
 	req := ep.IsendVHint([]omx.Segment{{Addr: hdr, Len: headerBytes}},
-		kvMatch(rank, tagReq), c.PeerAddr(server), true)
+		kvMatch(rank, tagReq), laneAddr(c, cfg, server, o.key), true)
 	if err := ep.Wait(p, req); err != nil {
 		// The request never reached the server: reap the posted receive
 		// so the worker can move on.
-		if data != nil {
-			ep.CancelRecv(data, omx.ErrTimeout)
-			ep.Wait(p, data)
-		}
-		if reply != nil {
-			ep.CancelRecv(reply, omx.ErrTimeout)
-			ep.Wait(p, reply)
-		}
+		ep.CancelRecv(data, omx.ErrTimeout)
+		ep.Wait(p, data)
+		return err
+	}
+	if err := waitRecvBounded(c, p, cfg, data); err != nil {
+		return err
+	}
+	var got [8]byte
+	if err := ep.AS.Read(val, got[:]); err != nil {
+		panic(fmt.Sprintf("kv: rank %d value read: %v", rank, err))
+	}
+	if binary.LittleEndian.Uint64(got[:]) != sig(o.tenant, o.key) {
+		st.BadVals++
+	}
+	return nil
+}
+
+// clientPut runs one write against one replica.
+func clientPut(c *mpi.Comm, p *sim.Proc, o op, cfg Config, val, hdr, ack vm.Addr, server int) error {
+	ep := c.Endpoint()
+	rank := c.Rank()
+	valSeg := []omx.Segment{{Addr: val, Len: cfg.ValueBytes}}
+
+	var sb [8]byte
+	binary.LittleEndian.PutUint64(sb[:], sig(o.tenant, o.key))
+	if err := ep.AS.Write(val, sb[:]); err != nil {
+		panic(fmt.Sprintf("kv: rank %d value write: %v", rank, err))
+	}
+	reply := ep.IrecvVHint([]omx.Segment{{Addr: ack, Len: ackBytes}},
+		kvMatch(server, tagReply|o.seq), ^uint64(0), true)
+
+	writeHeader(ep, hdr, o.kind, o.tenant, o.key, o.seq)
+	req := ep.IsendVHint([]omx.Segment{{Addr: hdr, Len: headerBytes}},
+		kvMatch(rank, tagReq), laneAddr(c, cfg, server, o.key), true)
+	if err := ep.Wait(p, req); err != nil {
+		ep.CancelRecv(reply, omx.ErrTimeout)
+		ep.Wait(p, reply)
 		return err
 	}
 
-	if o.kind == opGet {
-		if err := ep.Wait(p, data); err != nil {
-			return err
-		}
-		var got [8]byte
-		if err := ep.AS.Read(val, got[:]); err != nil {
-			panic(fmt.Sprintf("kv: rank %d value read: %v", rank, err))
-		}
-		if binary.LittleEndian.Uint64(got[:]) != sig(o.tenant, o.key) {
-			st.BadVals++
-		}
-		return nil
-	}
-
-	send := ep.IsendVHint(valSeg, kvMatch(rank, tagData|o.seq), c.PeerAddr(server), true)
+	send := ep.IsendVHint(valSeg, kvMatch(rank, tagData|o.seq), laneAddr(c, cfg, server, o.key), true)
 	if err := ep.Wait(p, send); err != nil {
 		ep.CancelRecv(reply, omx.ErrTimeout)
 		ep.Wait(p, reply)
 		return err
 	}
-	return ep.Wait(p, reply)
+	return waitRecvBounded(c, p, cfg, reply)
 }
 
 // TenantMerged is one tenant's cluster-wide aggregate.
@@ -547,10 +780,16 @@ type TenantMerged struct {
 // side's error count. Because the histograms merge exactly and ranks fold
 // in ascending order, Merged is identical whatever the shard layout.
 type Merged struct {
-	Get        report.Hist
-	Put        report.Hist
+	Get report.Hist
+	Put report.Hist
+	// OutageGet/OutagePut cover only operations scheduled inside the
+	// configured outage window (empty when no window is set) — the view
+	// the replicated scenario's SLO gate reads.
+	OutageGet  report.Hist
+	OutagePut  report.Hist
 	Tenants    []TenantMerged
 	ServerErrs int
+	Failovers  int
 }
 
 // Collect folds every rank's stashed Stats (ranks 0..ranks-1, in order)
@@ -580,6 +819,9 @@ func Collect(cfg Config, ranks int, get func(rank int) *Stats) *Merged {
 		tm.BadVals += st.BadVals
 		m.Get.Merge(&st.Get)
 		m.Put.Merge(&st.Put)
+		m.OutageGet.Merge(&st.GetOutage)
+		m.OutagePut.Merge(&st.PutOutage)
+		m.Failovers += st.Failovers
 	}
 	return m
 }

@@ -140,6 +140,11 @@ func (c *Comm) Endpoint() *omx.Endpoint { return c.ep }
 // rank body and therefore cannot use the Comm verbs.
 func (c *Comm) PeerAddr(r int) omx.EndpointAddr { return c.world.eps[r].Addr() }
 
+// PeerAddrs returns all of rank r's serving-lane addresses: the primary
+// endpoint followed by its aux endpoints (cluster assembly's
+// EndpointsPerNode fan-out). Multi-endpoint workloads hash across them.
+func (c *Comm) PeerAddrs(r int) []omx.EndpointAddr { return c.world.eps[r].AllAddrs() }
+
 // Now returns the current simulated time.
 func (c *Comm) Now() sim.Time { return c.p.Now() }
 

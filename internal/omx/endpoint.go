@@ -171,7 +171,30 @@ type Endpoint struct {
 	// from the same node).
 	activePulls map[*rstate]struct{}
 
+	// aux lists additional endpoints attached to this one's rank-role
+	// (cluster assembly opens them for multi-endpoint serving); they share
+	// the process but have their own addresses and protocol state.
+	aux []*Endpoint
+
 	closed bool
+}
+
+// AttachAux records an additional endpoint serving the same rank-role.
+// Cluster assembly calls it; Aux and AllAddrs expose the set to workloads.
+func (ep *Endpoint) AttachAux(a *Endpoint) { ep.aux = append(ep.aux, a) }
+
+// Aux returns the endpoints attached to this rank-role beyond the primary.
+func (ep *Endpoint) Aux() []*Endpoint { return ep.aux }
+
+// AllAddrs returns the primary address followed by every aux endpoint's,
+// in attach order — the per-rank serving lanes clients hash across.
+func (ep *Endpoint) AllAddrs() []EndpointAddr {
+	addrs := make([]EndpointAddr, 0, 1+len(ep.aux))
+	addrs = append(addrs, ep.addr)
+	for _, a := range ep.aux {
+		addrs = append(addrs, a.addr)
+	}
+	return addrs
 }
 
 // maxRetries bounds control-message retransmissions before a request
@@ -512,10 +535,11 @@ func (ep *Endpoint) crashAbort(err error) {
 	}
 }
 
-// dispatchBH schedules bottom-half processing for one received frame on the
-// node's RX core.
-func (ep *Endpoint) dispatchBH(payload any) {
-	rx := ep.node.rxCore
+// dispatchBH schedules bottom-half processing for one received frame on
+// the core servicing the frame's rx queue (queue 0 is the node's classic
+// RX core; multi-queue NICs spread flows across cores).
+func (ep *Endpoint) dispatchBH(payload any, queue int) {
+	rx := ep.node.RxCoreFor(queue)
 	cost := ep.cfg.BHFragCost
 	switch m := payload.(type) {
 	case *eagerFrag:

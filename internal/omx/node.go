@@ -40,8 +40,14 @@ type Node struct {
 	NIC     *ethernet.NIC
 	IOAT    *ioat.Engine
 
-	// rxCore runs interrupt bottom halves (all RX protocol processing).
-	rxCore    *cpu.Core
+	// rxCore runs interrupt bottom halves (all RX protocol processing) for
+	// rx queue 0; multi-queue nodes spread further queues across cores
+	// starting from rxCore's index (ConfigureQueues).
+	rxCore *cpu.Core
+	// rxCoreIdx remembers the base interrupt core index for the per-queue
+	// core mapping; rxQueues is the NIC queue count (>= 1).
+	rxCoreIdx int
+	rxQueues  int
 	endpoints map[int]*Endpoint
 	stats     NodeStats
 
@@ -105,13 +111,38 @@ func NewNode(eng *sim.Engine, fabric *ethernet.Fabric, spec cpu.Spec, id, rxCore
 		endpoints: make(map[int]*Endpoint),
 	}
 	n.rxCore = n.Machine.Core(rxCoreIdx)
+	n.rxCoreIdx = rxCoreIdx
+	n.rxQueues = 1
 	n.NIC.SetHandler(n.onFrame)
 	n.SetIntrDelay(DefaultIntrDelay)
 	return n
 }
 
-// RxCore returns the core servicing NIC bottom halves.
+// ConfigureQueues resizes the node's NIC to q tx/rx queues and spreads the
+// rx queues' bottom-half processing across cores: queue i's interrupts
+// land on core (rxCoreIdx + i) mod cores, like an MSI-X vector per queue.
+// Must be called before any traffic flows.
+func (n *Node) ConfigureQueues(q int) {
+	if q < 1 {
+		q = 1
+	}
+	n.rxQueues = q
+	n.NIC.SetQueues(q)
+}
+
+// RxCore returns the core servicing NIC bottom halves (queue 0).
 func (n *Node) RxCore() *cpu.Core { return n.rxCore }
+
+// RxCoreFor returns the core servicing rx queue q's bottom halves.
+func (n *Node) RxCoreFor(q int) *cpu.Core {
+	if q <= 0 || n.rxQueues == 1 {
+		return n.rxCore
+	}
+	return n.Machine.Core((n.rxCoreIdx + q) % n.Machine.NumCores())
+}
+
+// RxQueues returns the node's NIC queue count.
+func (n *Node) RxQueues() int { return n.rxQueues }
 
 // Stats returns a snapshot of the node's driver counters.
 func (n *Node) Stats() NodeStats { return n.stats }
@@ -179,45 +210,37 @@ func (n *Node) ResizeMemory(frames int) bool {
 // maxData is the data payload available per frame after the MXoE header.
 func (n *Node) maxData() int { return n.NIC.MTU() - headerBytes }
 
-// send transmits one protocol message, sizing the frame from its data.
-func (n *Node) send(dst int, dataLen int, payload any) {
+// send transmits one protocol message, sizing the frame from its data and
+// steering it onto the flow of its (src endpoint, dst endpoint) pair so
+// multi-queue NICs keep each endpoint conversation on one lane.
+func (n *Node) send(dst int, dataLen int, payload wirePayload) {
 	n.stats.FramesTx++
-	n.NIC.Send(&ethernet.Frame{Dst: dst, Size: headerBytes + dataLen, Payload: payload})
+	src, dstAddr := payload.addrs()
+	n.NIC.Send(&ethernet.Frame{
+		Dst:     dst,
+		Size:    headerBytes + dataLen,
+		Payload: payload,
+		Flow:    FlowOf(src, dstAddr),
+	})
 }
 
 // onFrame runs in interrupt context: it only schedules bottom-half work on
-// the RX core. All protocol processing happens in the BH at BottomHalf
-// priority — which is what starves same-core application pinning under
-// flood (paper §4.3).
+// the frame's rx-queue core. All protocol processing happens in the BH at
+// BottomHalf priority — which is what starves same-core application
+// pinning under flood (paper §4.3).
 func (n *Node) onFrame(fr *ethernet.Frame) {
 	n.stats.FramesRx++
-	var epID int
-	switch p := fr.Payload.(type) {
-	case *eagerFrag:
-		epID = p.dst.EP
-	case *eagerAck:
-		epID = p.dst.EP
-	case *rndvMsg:
-		epID = p.dst.EP
-	case *pullReq:
-		epID = p.dst.EP
-	case *pullReply:
-		epID = p.dst.EP
-	case *notifyMsg:
-		epID = p.dst.EP
-	case *notifyAck:
-		epID = p.dst.EP
-	case *abortMsg:
-		epID = p.dst.EP
-	default:
+	p, ok := fr.Payload.(wirePayload)
+	if !ok {
 		panic(fmt.Sprintf("omx: unknown payload %T", fr.Payload))
 	}
-	ep, ok := n.endpoints[epID]
-	if !ok {
+	_, dst := p.addrs()
+	ep, epOK := n.endpoints[dst.EP]
+	if !epOK {
 		return // stale frame for a closed endpoint: dropped
 	}
 	// The IRQ/NAPI pipeline latency was already applied by the NIC's
 	// delivery event (SetIntrDelay wires it into the fabric), so the bottom
 	// half can be queued directly.
-	ep.dispatchBH(fr.Payload)
+	ep.dispatchBH(fr.Payload, fr.Queue)
 }

@@ -123,6 +123,31 @@ type abortMsg struct {
 	seq      uint64
 }
 
+// addrs exposes the endpoint pair of every wire payload, for frame
+// demultiplexing and flow steering.
+func (m *eagerFrag) addrs() (src, dst EndpointAddr) { return m.src, m.dst }
+func (m *eagerAck) addrs() (src, dst EndpointAddr)  { return m.src, m.dst }
+func (m *rndvMsg) addrs() (src, dst EndpointAddr)   { return m.src, m.dst }
+func (m *pullReq) addrs() (src, dst EndpointAddr)   { return m.src, m.dst }
+func (m *pullReply) addrs() (src, dst EndpointAddr) { return m.src, m.dst }
+func (m *notifyMsg) addrs() (src, dst EndpointAddr) { return m.src, m.dst }
+func (m *notifyAck) addrs() (src, dst EndpointAddr) { return m.src, m.dst }
+func (m *abortMsg) addrs() (src, dst EndpointAddr)  { return m.src, m.dst }
+
+// wirePayload is the interface every protocol message implements.
+type wirePayload interface {
+	addrs() (src, dst EndpointAddr)
+}
+
+// FlowOf maps an endpoint pair onto a transport flow id, the input of the
+// NIC's RSS-style steering: all traffic between one (src endpoint, dst
+// endpoint) pair serializes on one tx lane and lands on one rx queue —
+// queue-qualified addressing without widening EndpointAddr on the wire.
+func FlowOf(src, dst EndpointAddr) uint64 {
+	return uint64(uint16(src.Node))<<48 | uint64(uint16(src.EP))<<32 |
+		uint64(uint16(dst.Node))<<16 | uint64(uint16(dst.EP))
+}
+
 // matches implements MX matching: the receive matches the message iff the
 // masked match information is equal.
 func matches(recvMatch, recvMask, msgMatch uint64) bool {

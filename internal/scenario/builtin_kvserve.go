@@ -25,8 +25,17 @@ import (
 // per-client random stream.
 func kvWorkload(cfg kv.Config) Workload {
 	return func(c *mpi.Comm, cr *CaseRun) {
-		kv.Run(c, cr, cr.Seed, cfg)
+		kv.Run(c, cr, cr.Seed, kvSized(cfg, cr.Size))
 	}
+}
+
+// kvSized resolves a size-sweep cell: a config with ValueBytes 0 takes the
+// cell's sweep size as the value size.
+func kvSized(cfg kv.Config, size int) kv.Config {
+	if cfg.ValueBytes == 0 {
+		cfg.ValueBytes = size
+	}
+	return cfg
 }
 
 // kvQuantiles are the reported percentiles (metric suffix, q).
@@ -70,6 +79,11 @@ func kvReport(cfg kv.Config, ranks int) func(run *Run) {
 			}
 			addRow("get", &m.Get)
 			addRow("put", &m.Put)
+			if cfg.OutageEnd > 0 {
+				addRow("outage.get", &m.OutageGet)
+				addRow("outage.put", &m.OutagePut)
+				cr.Metric("kv.failovers", float64(m.Failovers))
+			}
 			issued, ok, rejected, errs, badvals := 0, 0, 0, m.ServerErrs, 0
 			for ti := range m.Tenants {
 				tm := &m.Tenants[ti]

@@ -1,0 +1,120 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// TestKVServeReplicatedShardInvariance is the replicated family's
+// determinism gate: the mid-run server crash, the typed failovers, and
+// every outage-window percentile must be byte-identical whatever the
+// shard layout.
+func TestKVServeReplicatedShardInvariance(t *testing.T) {
+	opts := Options{Shards: 1}
+	ref := resultBytes(t, "kvserve-replicated", opts)
+	for _, probe := range []string{"kv.failovers", "outage.get"} {
+		if !bytes.Contains(ref, []byte(probe)) {
+			t.Fatalf("kvserve-replicated report carries no %q", probe)
+		}
+	}
+	for _, n := range []int{2, 4} {
+		opts.Shards = n
+		got := resultBytes(t, "kvserve-replicated", opts)
+		if !bytes.Equal(ref, got) {
+			t.Fatalf("kvserve-replicated: shards=%d result differs from shards=1:\n--- shards=1 ---\n%s\n--- shards=%d ---\n%s",
+				n, ref, n, got)
+		}
+	}
+}
+
+// TestKVServeReplicatedGomaxprocsInvariance re-runs the replicated
+// scenario with GOMAXPROCS pinned to 1: goroutine scheduling must not
+// leak into the failover path or any outage bucket.
+func TestKVServeReplicatedGomaxprocsInvariance(t *testing.T) {
+	opts := Options{Shards: 2}
+	ref := resultBytes(t, "kvserve-replicated", opts)
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	got := resultBytes(t, "kvserve-replicated", opts)
+	if !bytes.Equal(ref, got) {
+		t.Fatalf("kvserve-replicated shards=2: GOMAXPROCS=1 result differs from GOMAXPROCS=%d", prev)
+	}
+}
+
+// loadFleetKV loads the shipped fleet-scale replicated serving spec
+// without touching the registry.
+func loadFleetKV(t *testing.T) *Scenario {
+	t.Helper()
+	path := filepath.Join("..", "..", "examples", "fleet-kv.yaml")
+	if _, err := os.Stat(path); err != nil {
+		t.Skipf("examples/fleet-kv.yaml not present: %v", err)
+	}
+	s, err := LoadSpecFile(path)
+	if err != nil {
+		t.Fatalf("load fleet-kv: %v", err)
+	}
+	return s
+}
+
+// TestFleetKVShardInvariance runs the 272-node replicated serving spec at
+// 1 and 4 shards and demands byte-identical report JSON.
+func TestFleetKVShardInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet-scale run skipped in -short mode")
+	}
+	var want []byte
+	for _, shards := range []int{1, 4} {
+		s := loadFleetKV(t)
+		got := scenarioBytes(t, s, Options{Shards: shards})
+		if want == nil {
+			want = got
+			continue
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("fleet-kv report differs between 1 and %d shards", shards)
+		}
+	}
+}
+
+// TestFleetKVGomaxprocsInvariance: the sharded fleet run must not let
+// host-side parallelism leak into the report.
+func TestFleetKVGomaxprocsInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet-scale run skipped in -short mode")
+	}
+	s := loadFleetKV(t)
+	ref := scenarioBytes(t, s, Options{Shards: 4})
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	s2 := loadFleetKV(t)
+	got := scenarioBytes(t, s2, Options{Shards: 4})
+	if !bytes.Equal(ref, got) {
+		t.Fatalf("fleet-kv shards=4: GOMAXPROCS=1 result differs from GOMAXPROCS=%d", prev)
+	}
+}
+
+// TestFleetKVShape spot-checks the compiled fleet: 16 storage nodes with
+// two endpoint lanes on 4-queue NICs, 256 client nodes.
+func TestFleetKVShape(t *testing.T) {
+	s := loadFleetKV(t)
+	byName := map[string]int{}
+	total := 0
+	for _, g := range s.Cluster.Groups {
+		total += g.Nodes
+		byName[g.Name] = g.Nodes
+		if g.Name == "storage" {
+			if g.EndpointsPerNode != 2 || g.NICQueues != 4 {
+				t.Fatalf("storage group: endpoints=%d queues=%d, want 2/4", g.EndpointsPerNode, g.NICQueues)
+			}
+		}
+	}
+	if total < 256 {
+		t.Fatalf("fleet resolves to %d nodes, want >= 256", total)
+	}
+	if byName["storage"] != 16 || byName["clients"] != 256 {
+		t.Fatalf("group split wrong: %v", byName)
+	}
+}

@@ -70,6 +70,8 @@ type fleetGroup struct {
 	nodes        int // explicit count; 0 = allocate by weight
 	ranksPerNode int
 	frames       int
+	epsPerNode   int // endpoints per rank-role; 0 = inherit the base config
+	nicQueues    int // NIC tx/rx queue pairs; 0 = inherit the base config
 }
 
 // Startup patterns.
@@ -382,12 +384,16 @@ func (d *dec) decodeCluster(n *yamlite.Node, sp *Spec) error {
 			cfg.RanksPerNode, err = d.intVal(p.Val, "cluster.ranks_per_node")
 		case "ranks_per_proc":
 			cfg.RanksPerProc, err = d.intVal(p.Val, "cluster.ranks_per_proc")
+		case "endpoints_per_node":
+			cfg.EndpointsPerNode, err = d.intVal(p.Val, "cluster.endpoints_per_node")
+		case "nic_queues":
+			cfg.NICQueues, err = d.intVal(p.Val, "cluster.nic_queues")
 		case "mem_frames":
 			cfg.Mem.Frames, err = d.intVal(p.Val, "cluster.mem_frames")
 		case "link":
 			cfg.Link, err = d.decodeLink(p.Val, "cluster.link")
 		default:
-			return d.errf(p.Line, "cluster: unknown field %q (fields: nodes, ranks_per_node, ranks_per_proc, mem_frames, link)", p.Key)
+			return d.errf(p.Line, "cluster: unknown field %q (fields: nodes, ranks_per_node, ranks_per_proc, endpoints_per_node, nic_queues, mem_frames, link)", p.Key)
 		}
 		if err != nil {
 			return err
@@ -483,10 +489,14 @@ func (d *dec) decodeGroups(n *yamlite.Node, f *fleetSpec) error {
 				g.nodes, err = d.intVal(p.Val, "group.nodes")
 			case "ranks_per_node":
 				g.ranksPerNode, err = d.intVal(p.Val, "group.ranks_per_node")
+			case "endpoints_per_node":
+				g.epsPerNode, err = d.intVal(p.Val, "group.endpoints_per_node")
+			case "nic_queues":
+				g.nicQueues, err = d.intVal(p.Val, "group.nic_queues")
 			case "mem_frames":
 				g.frames, err = d.intVal(p.Val, "group.mem_frames")
 			default:
-				return d.errf(p.Line, "fleet group: unknown field %q (fields: name, weight, nodes, ranks_per_node, mem_frames)", p.Key)
+				return d.errf(p.Line, "fleet group: unknown field %q (fields: name, weight, nodes, ranks_per_node, endpoints_per_node, nic_queues, mem_frames)", p.Key)
 			}
 			if err != nil {
 				return err

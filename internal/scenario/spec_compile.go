@@ -129,7 +129,10 @@ func (f *fleetSpec) resolve() ([]cluster.NodeGroup, error) {
 		if rpn == 0 {
 			rpn = 1
 		}
-		out[i] = cluster.NodeGroup{Name: g.name, Nodes: alloc[i], RanksPerNode: rpn}
+		out[i] = cluster.NodeGroup{
+			Name: g.name, Nodes: alloc[i], RanksPerNode: rpn,
+			EndpointsPerNode: g.epsPerNode, NICQueues: g.nicQueues,
+		}
 		out[i].Mem.Frames = g.frames
 	}
 	return out, nil

@@ -194,24 +194,37 @@ func (d *dec) decodeKV(n *yamlite.Node, w *workloadSpec) error {
 			cfg.ChurnBytes, err = d.bytesVal(p.Val, "workload.churn_bytes")
 		case "churn_period_us":
 			cfg.ChurnPeriod, err = d.durUS(p.Val, "workload.churn_period_us")
+		case "replication":
+			cfg.Replication, err = d.intVal(p.Val, "workload.replication")
+		case "failover_timeout_us":
+			cfg.FailoverTimeout, err = d.durUS(p.Val, "workload.failover_timeout_us")
+		case "outage_start_us":
+			cfg.OutageStart, err = d.durUS(p.Val, "workload.outage_start_us")
+		case "outage_end_us":
+			cfg.OutageEnd, err = d.durUS(p.Val, "workload.outage_end_us")
 		case "tenants":
 			err = d.decodeTenants(p.Val, &cfg)
 		default:
-			return d.errf(p.Line, "workload kv: unknown field %q (fields: servers, keys, value_bytes, theta, workers, churn_bytes, churn_period_us, tenants)", p.Key)
+			return d.errf(p.Line, "workload kv: unknown field %q (fields: servers, keys, value_bytes, theta, workers, churn_bytes, churn_period_us, replication, failover_timeout_us, outage_start_us, outage_end_us, tenants)", p.Key)
 		}
 		if err != nil {
 			return err
 		}
 	}
-	if cfg.Servers <= 0 || cfg.Keys <= 0 || cfg.ValueBytes <= 0 {
-		return d.errf(n.Line, "workload kv: `servers`, `keys`, and `value_bytes` must all be > 0")
+	if cfg.Servers <= 0 || cfg.Keys <= 0 {
+		return d.errf(n.Line, "workload kv: `servers` and `keys` must be > 0")
 	}
 	if len(cfg.Tenants) == 0 {
 		return d.errf(n.Line, "workload kv: at least one tenant is required")
 	}
+	if cfg.Replication > cfg.Servers {
+		return d.errf(n.Line, "workload kv: `replication` %d exceeds `servers` %d", cfg.Replication, cfg.Servers)
+	}
 	w.kvCfg = &cfg
+	// value_bytes omitted → the cell's sweep size is the value size.
+	w.needsSizes = cfg.ValueBytes == 0
 	w.workload = func(c *mpi.Comm, cr *CaseRun) {
-		kv.Run(c, cr, cr.Seed, cfg)
+		kv.Run(c, cr, cr.Seed, kvSized(cfg, cr.Size))
 	}
 	return nil
 }
